@@ -1,0 +1,115 @@
+// Command eleos-bench regenerates the tables and figures of the Eleos
+// paper's evaluation on the simulated SGX platform.
+//
+// Usage:
+//
+//	eleos-bench                 # run every experiment at paper scale
+//	eleos-bench -quick          # scaled-down datasets (CI-sized)
+//	eleos-bench -run fig7a,tab2 # selected experiments only
+//	eleos-bench -list           # list experiment IDs
+//	eleos-bench -ops 20000      # override the per-configuration op count
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"eleos/internal/bench"
+)
+
+// writeCSV renders each of the experiment's tables as <id>[_n].csv so
+// results can be loaded into plotting tools directly.
+func writeCSV(dir string, res *bench.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range res.Tables {
+		name := res.ID
+		if i > 0 {
+			name = fmt.Sprintf("%s_%d", res.ID, i)
+		}
+		f, err := os.Create(filepath.Join(dir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		if err := w.Write(t.Headers); err != nil {
+			f.Close()
+			return err
+		}
+		if err := w.WriteAll(t.Rows); err != nil {
+			f.Close()
+			return err
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	var (
+		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick  = flag.Bool("quick", false, "scaled-down datasets for fast runs")
+		ops    = flag.Int("ops", 0, "operations per configuration (0 = experiment default)")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir = flag.String("csv", "", "also write each experiment's tables as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *runIDs == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := bench.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "eleos-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	rc := bench.RunConfig{Ops: *ops, Quick: *quick}
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		res, err := e.Run(rc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "eleos-bench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Print(res.String())
+		fmt.Printf("[%s completed in %.1fs host time]\n\n", e.ID, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "eleos-bench: writing CSV for %s: %v\n", e.ID, err)
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,173 @@
+// Command memaslap is a load generator and benchmarking client for
+// memcached-protocol servers, in the role the paper's testbed gives the
+// original memaslap (§6.2.2): it fills the server with items, then
+// drives a configurable get/set mix from concurrent connections and
+// reports throughput and latency percentiles. Works against cmd/
+// memcachedd or any real memcached.
+//
+//	memaslap -server 127.0.0.1:11211 -conns 4 -items 10000 -ops 100000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "127.0.0.1:11211", "memcached server address")
+		conns   = flag.Int("conns", 4, "concurrent connections")
+		items   = flag.Int("items", 10_000, "items loaded before the measurement")
+		valueSz = flag.Int("value", 1024, "value size in bytes")
+		ops     = flag.Int("ops", 100_000, "total operations in the measurement")
+		getFrac = flag.Int("get", 90, "percentage of GETs in the mix (rest are SETs)")
+		seed    = flag.Int64("seed", 1, "PRNG seed")
+	)
+	flag.Parse()
+
+	// Load phase.
+	log.Printf("loading %d items of %dB...", *items, *valueSz)
+	c, err := dial(*server)
+	if err != nil {
+		log.Fatalf("memaslap: %v", err)
+	}
+	val := strings.Repeat("x", *valueSz)
+	for i := 0; i < *items; i++ {
+		if err := c.set(keyName(i), val); err != nil {
+			log.Fatalf("memaslap: loading item %d: %v", i, err)
+		}
+	}
+	c.close()
+
+	// Measurement phase.
+	log.Printf("running %d ops (%d%% GET) over %d connections...", *ops, *getFrac, *conns)
+	var wg sync.WaitGroup
+	latencies := make([][]time.Duration, *conns)
+	errs := make([]error, *conns)
+	start := time.Now()
+	for w := 0; w < *conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			conn, err := dial(*server)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer conn.close()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			lat := make([]time.Duration, 0, *ops / *conns)
+			for i := 0; i < *ops / *conns; i++ {
+				key := keyName(rng.Intn(*items))
+				t0 := time.Now()
+				if rng.Intn(100) < *getFrac {
+					_, err = conn.get(key)
+				} else {
+					err = conn.set(key, val)
+				}
+				if err != nil {
+					errs[w] = fmt.Errorf("op %d: %w", i, err)
+					return
+				}
+				lat = append(lat, time.Since(t0))
+			}
+			latencies[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for w, err := range errs {
+		if err != nil {
+			log.Fatalf("memaslap: connection %d: %v", w, err)
+		}
+	}
+
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		return all[int(float64(len(all)-1)*p)]
+	}
+	fmt.Printf("\nops:        %d\n", len(all))
+	fmt.Printf("wall time:  %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.0f ops/s\n", float64(len(all))/elapsed.Seconds())
+	fmt.Printf("latency:    p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), all[len(all)-1].Round(time.Microsecond))
+}
+
+func keyName(i int) string { return fmt.Sprintf("memaslap-%08d", i) }
+
+// client is a minimal memcached text-protocol client.
+type client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+func dial(addr string) (*client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &client{conn: conn, r: bufio.NewReaderSize(conn, 64<<10), w: bufio.NewWriter(conn)}, nil
+}
+
+func (c *client) close() { c.conn.Close() }
+
+func (c *client) set(key, val string) error {
+	fmt.Fprintf(c.w, "set %s 0 0 %d\r\n%s\r\n", key, len(val), val)
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if line != "STORED\r\n" {
+		return fmt.Errorf("set %s: %q", key, strings.TrimSpace(line))
+	}
+	return nil
+}
+
+func (c *client) get(key string) ([]byte, error) {
+	fmt.Fprintf(c.w, "get %s\r\n", key)
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	header, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	if header == "END\r\n" {
+		return nil, fmt.Errorf("get %s: miss", key)
+	}
+	fields := strings.Fields(header)
+	if len(fields) != 4 || fields[0] != "VALUE" {
+		return nil, fmt.Errorf("get %s: bad header %q", key, strings.TrimSpace(header))
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, n+2)
+	if _, err := io.ReadFull(c.r, data); err != nil {
+		return nil, err
+	}
+	if trailer, err := c.r.ReadString('\n'); err != nil || trailer != "END\r\n" {
+		return nil, fmt.Errorf("get %s: bad trailer %q (%v)", key, trailer, err)
+	}
+	return data[:n], nil
+}

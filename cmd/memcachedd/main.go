@@ -1,0 +1,96 @@
+// Command memcachedd serves the memcached text protocol (get/set/
+// delete/stats/version) over real TCP, with the item store running on
+// the simulated SGX platform under the Eleos configuration of the
+// paper's §5.1: security-insensitive metadata in untrusted memory,
+// keys/values/sizes in SUVM, exit-less system calls. Point any
+// memcached client at it.
+//
+//	memcachedd -listen :11211 -mem 256MB -placement suvm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"eleos/internal/mckv"
+	"eleos/internal/sgx"
+	"eleos/internal/suvm"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:11211", "TCP listen address")
+		memMB     = flag.Int("mem", 256, "item memory limit in MiB")
+		placement = flag.String("placement", "suvm", "item payload placement: suvm|suvm-direct|epc|host")
+		epcppMB   = flag.Int("epcpp", 60, "SUVM page cache (EPC++) size in MiB")
+	)
+	flag.Parse()
+
+	plat, err := sgx.NewPlatform(sgx.Config{})
+	if err != nil {
+		log.Fatalf("memcachedd: %v", err)
+	}
+	encl, err := plat.NewEnclave()
+	if err != nil {
+		log.Fatalf("memcachedd: %v", err)
+	}
+	setup := encl.NewThread()
+	setup.Enter()
+
+	var pl mckv.Placement
+	var heap *suvm.Heap
+	switch *placement {
+	case "suvm", "suvm-direct":
+		heap, err = suvm.New(encl, setup, suvm.Config{
+			PageCacheBytes: uint64(*epcppMB) << 20,
+			BackingBytes:   4 << 30,
+		})
+		if err != nil {
+			log.Fatalf("memcachedd: creating SUVM heap: %v", err)
+		}
+		pl = mckv.PlaceSUVM
+		if *placement == "suvm-direct" {
+			pl = mckv.PlaceSUVMDirect
+		}
+	case "epc":
+		pl = mckv.PlaceEnclave
+	case "host":
+		pl = mckv.PlaceHost
+	default:
+		fmt.Fprintf(os.Stderr, "memcachedd: unknown placement %q\n", *placement)
+		os.Exit(2)
+	}
+
+	store, err := mckv.NewStore(plat, setup, mckv.Config{
+		MemLimitBytes: uint64(*memMB) << 20,
+		Placement:     pl,
+		Heap:          heap,
+	})
+	if err != nil {
+		log.Fatalf("memcachedd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("memcachedd: %v", err)
+	}
+	log.Printf("memcachedd: serving on %s (placement=%s, mem=%dMiB)", ln.Addr(), pl, *memMB)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("memcachedd: accept: %v", err)
+			continue
+		}
+		go func() {
+			th := encl.NewThread()
+			th.Enter()
+			if err := mckv.ServeConn(conn, store, th); err != nil {
+				log.Printf("memcachedd: connection: %v", err)
+			}
+			th.Exit()
+		}()
+	}
+}

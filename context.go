@@ -1,0 +1,151 @@
+package eleos
+
+import (
+	"time"
+
+	"eleos/internal/sgx"
+)
+
+// Ctx is an enclave execution context: one simulated hardware thread,
+// entered into its enclave, with convenience access to SUVM allocation
+// and exit-less system calls. A Ctx is owned by one goroutine; create
+// one per worker.
+type Ctx struct {
+	e  *Enclave
+	th *sgx.Thread
+}
+
+// NewContext creates and enters a fresh hardware thread.
+func (e *Enclave) NewContext() *Ctx {
+	th := e.encl.NewThread()
+	th.Enter()
+	return &Ctx{e: e, th: th}
+}
+
+// Thread exposes the underlying simulated thread (for use with the
+// lower-level SPtr and kv APIs).
+func (c *Ctx) Thread() *sgx.Thread { return c.th }
+
+// Enclave returns the owning enclave wrapper.
+func (c *Ctx) Enclave() *Enclave { return c.e }
+
+// Cycles returns the virtual cycles this context has consumed.
+func (c *Ctx) Cycles() uint64 { return c.th.T.Cycles() }
+
+// Elapsed converts the context's cycles to virtual time.
+func (c *Ctx) Elapsed() time.Duration {
+	return time.Duration(c.th.T.Seconds() * float64(time.Second))
+}
+
+// Malloc allocates SUVM memory and returns a context-bound pointer.
+func (c *Ctx) Malloc(n uint64) (*Ptr, error) {
+	p, err := c.e.heap.Malloc(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Ptr{p: p, c: c}, nil
+}
+
+// MallocDirect allocates SUVM memory in sub-page direct-access mode.
+func (c *Ctx) MallocDirect(n uint64) (*Ptr, error) {
+	p, err := c.e.heap.MallocDirect(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Ptr{p: p, c: c}, nil
+}
+
+// Exitless delegates fn to an untrusted RPC worker without leaving the
+// enclave — the Eleos replacement for OCALL.
+func (c *Ctx) Exitless(fn func(*HostCtx)) {
+	c.e.rt.pool.Call(c.th, fn)
+}
+
+// OCall performs a classic SDK OCALL (exit, run fn untrusted,
+// re-enter) — kept for comparison and for genuinely blocking calls, as
+// the paper does for poll(2).
+func (c *Ctx) OCall(fn func(*HostCtx)) {
+	c.th.OCall(fn)
+}
+
+// Read accesses memory at a simulated virtual address (enclave-private
+// or untrusted, by address range).
+func (c *Ctx) Read(vaddr uint64, buf []byte) { c.th.Read(vaddr, buf) }
+
+// Write stores to a simulated virtual address.
+func (c *Ctx) Write(vaddr uint64, data []byte) { c.th.Write(vaddr, data) }
+
+// Attach mounts an inter-enclave segment into this enclave's heap and
+// returns a context-bound pointer over its contents.
+func (c *Ctx) Attach(seg *Segment) (*Ptr, error) {
+	p, err := c.e.heap.Attach(c.th, seg)
+	if err != nil {
+		return nil, err
+	}
+	return &Ptr{p: p, c: c}, nil
+}
+
+// Detach flushes and releases a mounted segment so another enclave can
+// attach it. The pointer must not be used afterwards.
+func (c *Ctx) Detach(p *Ptr) error {
+	return c.e.heap.Detach(c.th, p.p)
+}
+
+// Close exits the thread. The Ctx must not be used afterwards.
+func (c *Ctx) Close() {
+	if c.th.InEnclave() {
+		c.th.Exit()
+	}
+}
+
+// Ptr is a context-bound secure pointer: an SPtr whose accesses are
+// charged to its context's thread, giving pointer-like ergonomics for
+// the common single-thread case. Use Raw with explicit threads to share
+// an allocation across contexts.
+type Ptr struct {
+	p *SPtr
+	c *Ctx
+}
+
+// Raw returns the underlying spointer.
+func (p *Ptr) Raw() *SPtr { return p.p }
+
+// Size returns the allocation size.
+func (p *Ptr) Size() uint64 { return p.p.Size() }
+
+// Offset returns the spointer's current offset.
+func (p *Ptr) Offset() uint64 { return p.p.Offset() }
+
+// Linked reports whether the translation is currently cached.
+func (p *Ptr) Linked() bool { return p.p.Linked() }
+
+// Read copies from the current offset.
+func (p *Ptr) Read(buf []byte) error { return p.p.Read(p.c.th, buf) }
+
+// Write copies to the current offset and marks the page dirty.
+func (p *Ptr) Write(data []byte) error { return p.p.Write(p.c.th, data) }
+
+// ReadAt copies from an absolute offset, staying unlinked.
+func (p *Ptr) ReadAt(off uint64, buf []byte) error { return p.p.ReadAt(p.c.th, off, buf) }
+
+// WriteAt copies to an absolute offset, staying unlinked.
+func (p *Ptr) WriteAt(off uint64, data []byte) error { return p.p.WriteAt(p.c.th, off, data) }
+
+// ReadU64 reads a little-endian uint64 at the current offset.
+func (p *Ptr) ReadU64() (uint64, error) { return p.p.ReadU64(p.c.th) }
+
+// WriteU64 writes a little-endian uint64 at the current offset.
+func (p *Ptr) WriteU64(v uint64) error { return p.p.WriteU64(p.c.th, v) }
+
+// Advance moves the offset (pointer arithmetic), unlinking on page
+// crossings.
+func (p *Ptr) Advance(delta int64) error { return p.p.Advance(p.c.th, delta) }
+
+// Seek sets the absolute offset.
+func (p *Ptr) Seek(off uint64) error { return p.p.Seek(p.c.th, off) }
+
+// Unlink drops the cached translation and its pin.
+func (p *Ptr) Unlink() { p.p.Unlink(p.c.th) }
+
+// Free releases the allocation.
+func (p *Ptr) Free() error { return p.c.e.heap.Free(p.c.th, p.p) }

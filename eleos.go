@@ -1,0 +1,185 @@
+// Package eleos is a Go reproduction of "Eleos: ExitLess OS Services for
+// SGX Enclaves" (Orenbach et al., EuroSys 2017): a runtime that removes
+// enclave exits from system calls (via an exit-less RPC service running
+// in untrusted worker threads) and from secure paging (via SUVM,
+// user-managed virtual memory paged entirely inside the enclave).
+//
+// Because SGX hardware is not assumed, the runtime executes on a
+// cycle-accounted simulation of the paper's Skylake SGX machine
+// (internal/sgx): enclave exits, EPC paging, TLB flushes, shootdown IPIs
+// and memory-encryption costs are all discrete, charged events, and all
+// sealing of evicted pages is real AES-GCM. See DESIGN.md.
+//
+// Quickstart:
+//
+//	rt, _ := eleos.NewRuntime(eleos.DefaultConfig())
+//	defer rt.Close()
+//	encl, _ := rt.NewEnclave(eleos.EnclaveConfig{PageCacheBytes: 32 << 20})
+//	ctx := encl.NewContext()
+//	p, _ := ctx.Malloc(1 << 30)            // secure memory beyond EPC size
+//	p.WriteAt(0, []byte("sealed"))          // paged by SUVM, exit-less
+//	ctx.Exitless(func(h *eleos.HostCtx) {   // syscall without leaving
+//		h.Syscall(nil)
+//	})
+package eleos
+
+import (
+	"fmt"
+	"time"
+
+	"eleos/internal/cycles"
+	"eleos/internal/rpc"
+	"eleos/internal/sgx"
+	"eleos/internal/suvm"
+)
+
+// Re-exported building blocks. The internal packages carry the full
+// implementation; these aliases make their rich APIs reachable through
+// the public module path.
+type (
+	// Model is the architectural cost model of the simulated machine.
+	Model = cycles.Model
+	// Platform is the simulated SGX machine.
+	Platform = sgx.Platform
+	// Thread is a simulated hardware thread.
+	Thread = sgx.Thread
+	// HostCtx is the untrusted execution context handed to exit-less
+	// calls and OCALL targets.
+	HostCtx = sgx.HostCtx
+	// SPtr is a secure active pointer into SUVM memory.
+	SPtr = suvm.SPtr
+	// Heap is a SUVM instance.
+	Heap = suvm.Heap
+	// HeapConfig tunes a SUVM heap.
+	HeapConfig = suvm.Config
+	// HeapStats is a snapshot of SUVM event counters.
+	HeapStats = suvm.StatsSnapshot
+	// Segment is inter-enclave shared secure memory (ownership moves
+	// between enclaves by Detach/Attach, without re-encrypting data).
+	Segment = suvm.Segment
+)
+
+// Config describes a Runtime: the simulated machine plus the untrusted
+// Eleos runtime (RPC workers, cache partitioning).
+type Config struct {
+	// Machine configures the simulated platform; zero values select the
+	// paper's testbed (93 MiB usable PRM, 8 MiB LLC).
+	Machine sgx.Config
+	// RPCWorkers sizes the untrusted worker pool (default 2).
+	RPCWorkers int
+	// CATWays reserves this many LLC ways for the RPC workers via cache
+	// allocation technology, protecting the enclave's share from I/O
+	// buffer pollution. 0 disables partitioning; the paper uses 4 of 16
+	// (a 25%/75% split).
+	CATWays int
+}
+
+// DefaultConfig returns the paper's configuration: two RPC workers and
+// the 25%/75% CAT split.
+func DefaultConfig() Config {
+	return Config{RPCWorkers: 2, CATWays: 4}
+}
+
+// Runtime owns one simulated machine and its untrusted Eleos runtime.
+type Runtime struct {
+	plat *sgx.Platform
+	pool *rpc.Pool
+}
+
+// NewRuntime builds the machine and starts the RPC worker pool.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.RPCWorkers == 0 {
+		cfg.RPCWorkers = 2
+	}
+	plat, err := sgx.NewPlatform(cfg.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("eleos: building platform: %w", err)
+	}
+	if cfg.CATWays > 0 {
+		plat.LLC.EnablePartitioning(cfg.CATWays)
+	}
+	pool := rpc.NewPool(plat, cfg.RPCWorkers, 256)
+	pool.Start()
+	return &Runtime{plat: plat, pool: pool}, nil
+}
+
+// Close stops the RPC workers.
+func (r *Runtime) Close() { r.pool.Stop() }
+
+// Platform exposes the simulated machine (cost model, LLC, driver).
+func (r *Runtime) Platform() *sgx.Platform { return r.plat }
+
+// Pool exposes the RPC worker pool.
+func (r *Runtime) Pool() *rpc.Pool { return r.pool }
+
+// EnclaveConfig describes one enclave with its SUVM heap.
+type EnclaveConfig struct {
+	// PageCacheBytes sizes EPC++ (required; keep it under the PRM share
+	// reported by the driver, or enable AutoBalloon).
+	PageCacheBytes uint64
+	// Heap carries further SUVM tuning; PageCacheBytes above overrides
+	// its field of the same name.
+	Heap suvm.Config
+	// SwapperInterval, when non-zero, starts the background swapper
+	// thread that re-balloons EPC++ against driver-reported PRM
+	// pressure at this period.
+	SwapperInterval time.Duration
+}
+
+// Enclave is a simulated enclave with an attached SUVM heap.
+type Enclave struct {
+	rt      *Runtime
+	encl    *sgx.Enclave
+	heap    *suvm.Heap
+	swapper *suvm.Swapper
+}
+
+// NewEnclave creates an enclave and its SUVM heap. The heap's frame
+// pool is pinned using a temporary setup thread.
+func (r *Runtime) NewEnclave(cfg EnclaveConfig) (*Enclave, error) {
+	if cfg.PageCacheBytes != 0 {
+		cfg.Heap.PageCacheBytes = cfg.PageCacheBytes
+	}
+	encl, err := r.plat.NewEnclave()
+	if err != nil {
+		return nil, err
+	}
+	setup := encl.NewThread()
+	setup.Enter()
+	heap, err := suvm.New(encl, setup, cfg.Heap)
+	setup.Exit()
+	if err != nil {
+		encl.Destroy()
+		return nil, err
+	}
+	e := &Enclave{rt: r, encl: encl, heap: heap}
+	if cfg.SwapperInterval > 0 {
+		e.swapper = heap.StartSwapper(cfg.SwapperInterval)
+	}
+	return e, nil
+}
+
+// Destroy stops the swapper and tears the enclave down.
+func (e *Enclave) Destroy() {
+	if e.swapper != nil {
+		e.swapper.Stop()
+		e.swapper = nil
+	}
+	e.encl.Destroy()
+}
+
+// Raw exposes the underlying simulated enclave.
+func (e *Enclave) Raw() *sgx.Enclave { return e.encl }
+
+// Heap exposes the enclave's SUVM heap.
+func (e *Enclave) Heap() *suvm.Heap { return e.heap }
+
+// Stats returns the SUVM counters.
+func (e *Enclave) Stats() HeapStats { return e.heap.Stats() }
+
+// NewSegment allocates inter-enclave shared secure memory on the
+// runtime's machine; mount it with Ctx.Attach. pageSize must match the
+// EPC++ page size of every attaching enclave (4096 unless tuned).
+func (r *Runtime) NewSegment(size uint64, pageSize int) (*Segment, error) {
+	return suvm.NewSegment(r.plat, size, pageSize)
+}

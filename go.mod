@@ -1,0 +1,3 @@
+module eleos
+
+go 1.22

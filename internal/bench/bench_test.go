@@ -1,0 +1,51 @@
+package bench
+
+import "testing"
+
+// TestRegistryComplete pins the experiment inventory: every table and
+// figure of the paper plus the four ablations, each runnable by ID.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "tab1", "fig2a", "fig2b",
+		"fig6a", "fig6b", "fig6c",
+		"fig7a", "fig7b", "tab2", "fig8a", "fig8b", "tab3", "fig9", "pflat",
+		"fig10", "fig11", "tab4",
+		"abl-wb", "abl-link", "abl-pgsz", "abl-evict", "abl-batch",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("experiment %d = %q, want %q", i, all[i].ID, id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("Lookup(%q) failed", id)
+		}
+		if all[i].Title == "" || all[i].Run == nil {
+			t.Fatalf("experiment %q incomplete", id)
+		}
+	}
+	if _, ok := Lookup("no-such"); ok {
+		t.Fatal("Lookup accepted an unknown ID")
+	}
+}
+
+// TestTinyExperimentRuns executes the two cheapest experiments end to
+// end at a minimal op count, as a smoke test for the harness plumbing.
+func TestTinyExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	for _, id := range []string{"tab1", "fig8a"} {
+		e, _ := Lookup(id)
+		res, err := e.Run(RunConfig{Ops: 2000, Quick: true})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Tables) == 0 || len(res.Tables[0].Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+// Package cache models the shared last-level cache of the simulated
+// Skylake machine: a physically-indexed set-associative cache with
+// pseudo-LRU replacement, Intel CAT-style way partitioning between
+// classes of service, and memory-encryption-engine amplification of
+// miss costs for lines that live in the enclave page cache (EPC).
+//
+// The model tracks tags only; data movement is performed by the callers
+// on their own buffers. Its job is to charge the right number of cycles
+// per line touched and to reproduce occupancy effects: cache pollution
+// by system-call I/O buffers (Fig 2a/6b of the paper) and the reduced
+// effective capacity available to enclaves.
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"eleos/internal/cycles"
+)
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// CoS identifies a class of service for CAT way partitioning.
+type CoS uint8
+
+// Predefined classes of service. With partitioning disabled all classes
+// may allocate into every way; EnablePartitioning restricts allocation
+// per class while lookups always search all ways, as real CAT does.
+const (
+	CoSDefault CoS = iota // untrusted application code
+	CoSEnclave            // enclave threads
+	CoSRPC                // Eleos RPC worker threads
+	numCoS
+)
+
+// Stats is a snapshot of the aggregate access counters.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	EPCMisses uint64
+	Evictions uint64
+}
+
+type atomicStats struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	epcMisses atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	lru   uint32 // per-set sequence number; smaller = older
+}
+
+type set struct {
+	lines []line
+	seq   uint32
+}
+
+// shardCount is the number of independently locked LLC shards. Sets are
+// distributed across shards so concurrent simulated threads do not
+// serialize on a single lock.
+const shardCount = 16
+
+type shard struct {
+	mu   sync.Mutex
+	sets []set
+}
+
+// LLC is the shared last-level cache model. It is safe for concurrent
+// use by multiple goroutines.
+type LLC struct {
+	model    *cycles.Model
+	ways     int
+	numSets  int
+	shards   [shardCount]shard
+	masks    [numCoS]uint64 // bit i set => way i allocatable
+	partMu   sync.RWMutex
+	stats    atomicStats
+	epcLimit uint64 // physical addresses below this are EPC
+}
+
+// Config describes the cache geometry.
+type Config struct {
+	// SizeBytes is the total capacity (default 8 MiB).
+	SizeBytes int
+	// Ways is the associativity (default 16).
+	Ways int
+	// EPCLimit is the exclusive upper bound of the EPC physical range;
+	// misses on addresses below it pay the MEE amplification.
+	EPCLimit uint64
+}
+
+// New creates an LLC with the given geometry over the cost model.
+func New(m *cycles.Model, cfg Config) *LLC {
+	if cfg.SizeBytes == 0 {
+		cfg.SizeBytes = 8 << 20
+	}
+	if cfg.Ways == 0 {
+		cfg.Ways = 16
+	}
+	numSets := cfg.SizeBytes / (LineSize * cfg.Ways)
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d must be a positive power of two", numSets))
+	}
+	c := &LLC{
+		model:    m,
+		ways:     cfg.Ways,
+		numSets:  numSets,
+		epcLimit: cfg.EPCLimit,
+	}
+	perShard := numSets / shardCount
+	if perShard == 0 {
+		perShard = 1
+	}
+	for i := range c.shards {
+		sets := make([]set, perShard)
+		for j := range sets {
+			sets[j].lines = make([]line, cfg.Ways)
+		}
+		c.shards[i].sets = sets
+	}
+	allWays := (uint64(1) << uint(cfg.Ways)) - 1
+	for i := range c.masks {
+		c.masks[i] = allWays
+	}
+	return c
+}
+
+// EnablePartitioning applies the Eleos CAT split: the RPC class of
+// service may allocate only into rpcWays ways, and the enclave class
+// into the remaining ways. The default class keeps all ways.
+func (c *LLC) EnablePartitioning(rpcWays int) {
+	if rpcWays <= 0 || rpcWays >= c.ways {
+		panic(fmt.Sprintf("cache: rpcWays %d out of range (1..%d)", rpcWays, c.ways-1))
+	}
+	c.partMu.Lock()
+	defer c.partMu.Unlock()
+	rpcMask := (uint64(1) << uint(rpcWays)) - 1
+	c.masks[CoSRPC] = rpcMask
+	c.masks[CoSEnclave] = ((uint64(1) << uint(c.ways)) - 1) &^ rpcMask
+}
+
+// DisablePartitioning restores the default all-ways masks.
+func (c *LLC) DisablePartitioning() {
+	c.partMu.Lock()
+	defer c.partMu.Unlock()
+	allWays := (uint64(1) << uint(c.ways)) - 1
+	for i := range c.masks {
+		c.masks[i] = allWays
+	}
+}
+
+// probe looks the line up and installs it on a miss (allocating within
+// the class's way mask). It performs no cycle charging; Access and
+// AccessRange wrap it with the appropriate cost.
+func (c *LLC) probe(cos CoS, paddr uint64, write bool) (hit bool) {
+	lineAddr := paddr / LineSize
+	setIdx := lineAddr % uint64(c.numSets)
+	sh := &c.shards[setIdx%shardCount]
+	localIdx := (setIdx / shardCount) % uint64(len(sh.sets))
+	epc := paddr < c.epcLimit
+
+	c.partMu.RLock()
+	mask := c.masks[cos]
+	c.partMu.RUnlock()
+
+	sh.mu.Lock()
+	s := &sh.sets[localIdx]
+	s.seq++
+	// Lookup searches every way regardless of the CoS mask.
+	for i := range s.lines {
+		if s.lines[i].valid && s.lines[i].tag == lineAddr {
+			s.lines[i].lru = s.seq
+			sh.mu.Unlock()
+			c.stats.hits.Add(1)
+			return true
+		}
+	}
+	// Miss: allocate within the class's way mask, evicting the LRU line
+	// among allowed ways (or filling an invalid allowed way first).
+	victim, victimSeq, evicted := -1, ^uint32(0), false
+	for i := range s.lines {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if !s.lines[i].valid {
+			victim, evicted = i, false
+			break
+		}
+		if s.lines[i].lru <= victimSeq {
+			victim, victimSeq, evicted = i, s.lines[i].lru, true
+		}
+	}
+	if victim >= 0 {
+		s.lines[victim] = line{tag: lineAddr, valid: true, lru: s.seq}
+	}
+	sh.mu.Unlock()
+
+	c.stats.misses.Add(1)
+	if epc {
+		c.stats.epcMisses.Add(1)
+	}
+	if evicted {
+		c.stats.evictions.Add(1)
+	}
+	return false
+}
+
+// Access simulates one cache-line access at physical address paddr and
+// charges the full hit or miss latency to t. write selects the store
+// path (EPC write misses are costlier than reads, Table 1). It returns
+// true on a hit.
+func (c *LLC) Access(t *cycles.Thread, cos CoS, paddr uint64, write bool) bool {
+	if c.probe(cos, paddr, write) {
+		t.Charge(c.model.LLCHit)
+		return true
+	}
+	t.Charge(c.model.EPCMissCycles(write, paddr < c.epcLimit))
+	return false
+}
+
+// AccessRange simulates touching every cache line in [paddr, paddr+n).
+// It additionally charges the L1-level per-line floor cost, so that even
+// all-hit copies are not free. Bulk transfers overlap their misses: the
+// miss penalty is amortized over min(StreamMLP, lines) outstanding
+// requests, so a 4 KiB page copy costs what a streamed copy costs on
+// real hardware rather than lines times the full miss latency. A
+// single-line access always pays full latency — which is what Table 1's
+// random-access microbenchmark measures.
+func (c *LLC) AccessRange(t *cycles.Thread, cos CoS, paddr uint64, n int, write bool) {
+	if n <= 0 {
+		return
+	}
+	first := paddr / LineSize
+	last := (paddr + uint64(n) - 1) / LineSize
+	mlp := c.model.StreamMLP
+	if mlp == 0 {
+		mlp = 1
+	}
+	if lines := last - first + 1; lines < mlp {
+		mlp = lines
+	}
+	epcRegion := paddr < c.epcLimit
+	for la := first; la <= last; la++ {
+		t.Charge(c.model.L1Hit)
+		if c.probe(cos, la*LineSize, write) {
+			t.Charge(c.model.LLCHit)
+		} else {
+			t.Charge(c.model.EPCMissCycles(write, epcRegion) / mlp)
+		}
+	}
+}
+
+// InstallRange installs the lines of [paddr, paddr+n) into the cache,
+// charging only the hit-level cost per line. It models stores whose miss
+// handling is fully overlapped with the producing computation (e.g. the
+// AES-GCM output stream of a SUVM page-in filling a whole page), where a
+// write-allocate fetch would be pure waste.
+func (c *LLC) InstallRange(t *cycles.Thread, cos CoS, paddr uint64, n int) {
+	if n <= 0 {
+		return
+	}
+	first := paddr / LineSize
+	last := (paddr + uint64(n) - 1) / LineSize
+	for la := first; la <= last; la++ {
+		t.Charge(c.model.L1Hit + c.model.LLCHit)
+		c.probe(cos, la*LineSize, true)
+	}
+}
+
+// Stats returns a snapshot of the aggregate counters.
+func (c *LLC) Stats() Stats {
+	return Stats{
+		Hits:      c.stats.hits.Load(),
+		Misses:    c.stats.misses.Load(),
+		EPCMisses: c.stats.epcMisses.Load(),
+		Evictions: c.stats.evictions.Load(),
+	}
+}
+
+// Invalidate drops every cached line (benchmark hygiene between
+// measurement phases; real experiments get the same effect from the
+// wbinvd they run between configurations).
+func (c *LLC) Invalidate() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for j := range sh.sets {
+			for k := range sh.sets[j].lines {
+				sh.sets[j].lines[k].valid = false
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// ResetStats zeroes the aggregate counters.
+func (c *LLC) ResetStats() {
+	c.stats.hits.Store(0)
+	c.stats.misses.Store(0)
+	c.stats.epcMisses.Store(0)
+	c.stats.evictions.Store(0)
+}
+
+// Ways returns the associativity.
+func (c *LLC) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *LLC) Sets() int { return c.numSets }
+
+// SizeBytes returns the total capacity.
+func (c *LLC) SizeBytes() int { return c.numSets * c.ways * LineSize }

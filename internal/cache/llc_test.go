@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"testing"
+
+	"eleos/internal/cycles"
+	"eleos/internal/phys"
+)
+
+func newLLC(t testing.TB) (*LLC, *cycles.Thread) {
+	t.Helper()
+	m := cycles.DefaultModel()
+	return New(m, Config{EPCLimit: phys.EPCLimit}), cycles.NewThread(1, m)
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c, th := newLLC(t)
+	if c.Access(th, CoSDefault, phys.HostBase, false) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(th, CoSDefault, phys.HostBase, false) {
+		t.Fatal("warm access missed")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestMissCostsFollowModel(t *testing.T) {
+	c, th := newLLC(t)
+	m := th.Model()
+
+	cases := []struct {
+		paddr uint64
+		write bool
+		want  uint64
+	}{
+		{phys.HostBase, false, m.DRAMMiss},
+		{phys.HostBase + 64, true, m.DRAMMiss},
+		{0, false, uint64(float64(m.DRAMMiss) * m.EPCReadMult)},
+		{64, true, uint64(float64(m.DRAMMiss) * m.EPCWriteMult)},
+	}
+	for _, tc := range cases {
+		before := th.Cycles()
+		c.Access(th, CoSEnclave, tc.paddr, tc.write)
+		if got := th.Cycles() - before; got != tc.want {
+			t.Fatalf("miss at %#x write=%v charged %d, want %d", tc.paddr, tc.write, got, tc.want)
+		}
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	c, th := newLLC(t)
+	ways := c.Ways()
+	set := uint64(5)
+	line := func(i int) uint64 {
+		return phys.HostBase + (set+uint64(i)*uint64(c.Sets()))*LineSize
+	}
+	// Fill the set, touch line 0 again, then overflow by one: the LRU
+	// victim must be line 1, not the recently-touched line 0.
+	for i := 0; i < ways; i++ {
+		c.Access(th, CoSDefault, line(i), false)
+	}
+	c.Access(th, CoSDefault, line(0), false)
+	c.Access(th, CoSDefault, line(ways), false) // evicts line 1
+	if !c.Access(th, CoSDefault, line(0), false) {
+		t.Fatal("recently used line evicted")
+	}
+	if c.Access(th, CoSDefault, line(1), false) {
+		t.Fatal("LRU line survived overflow")
+	}
+}
+
+func TestPartitioningBoundsRPCOccupancy(t *testing.T) {
+	c, th := newLLC(t)
+	c.EnablePartitioning(4)
+	set := uint64(9)
+	line := func(i int) uint64 {
+		return phys.HostBase + (set+uint64(i)*uint64(c.Sets()))*LineSize
+	}
+	// The RPC class streams 32 distinct lines of one set; only its 4
+	// ways may hold them, so at most 4 can hit on a re-pass.
+	for i := 0; i < 32; i++ {
+		c.Access(th, CoSRPC, line(i), false)
+	}
+	hits := 0
+	for i := 0; i < 32; i++ {
+		if c.Access(th, CoSRPC, line(i), false) {
+			hits++
+		}
+	}
+	if hits > 4 {
+		t.Fatalf("RPC class holds %d lines of one set with a 4-way mask", hits)
+	}
+	// The enclave class must still be able to cache 12 lines.
+	for i := 100; i < 112; i++ {
+		c.Access(th, CoSEnclave, line(i), false)
+	}
+	hits = 0
+	for i := 100; i < 112; i++ {
+		if c.Access(th, CoSEnclave, line(i), false) {
+			hits++
+		}
+	}
+	if hits != 12 {
+		t.Fatalf("enclave class retained %d of its 12 lines", hits)
+	}
+}
+
+func TestAccessRangeAmortizesMisses(t *testing.T) {
+	c, th := newLLC(t)
+	m := th.Model()
+	// One cold 4KiB range: misses overlap up to StreamMLP deep.
+	before := th.Cycles()
+	c.AccessRange(th, CoSDefault, phys.HostBase+1<<20, 4096, false)
+	bulk := th.Cycles() - before
+	perLine := bulk / 64
+	if perLine >= m.DRAMMiss {
+		t.Fatalf("bulk miss cost %d/line not amortized (full latency %d)", perLine, m.DRAMMiss)
+	}
+	// A single cold line pays full latency.
+	before = th.Cycles()
+	c.AccessRange(th, CoSDefault, phys.HostBase+2<<20, 8, false)
+	single := th.Cycles() - before
+	if single != m.L1Hit+m.DRAMMiss {
+		t.Fatalf("single-line range charged %d, want %d", single, m.L1Hit+m.DRAMMiss)
+	}
+}
+
+func TestInstallRangeChargesHitLevel(t *testing.T) {
+	c, th := newLLC(t)
+	m := th.Model()
+	before := th.Cycles()
+	c.InstallRange(th, CoSEnclave, 0, 4096)
+	if got, want := th.Cycles()-before, 64*(m.L1Hit+m.LLCHit); got != want {
+		t.Fatalf("install charged %d, want %d", got, want)
+	}
+	// Installed lines are present afterwards.
+	if !c.Access(th, CoSEnclave, 0, false) {
+		t.Fatal("installed line missing")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c, th := newLLC(t)
+	c.Access(th, CoSDefault, phys.HostBase, false)
+	c.Invalidate()
+	if c.Access(th, CoSDefault, phys.HostBase, false) {
+		t.Fatal("line survived Invalidate")
+	}
+}

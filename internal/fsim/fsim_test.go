@@ -1,0 +1,159 @@
+package fsim
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"eleos/internal/cache"
+	"eleos/internal/rpc"
+	"eleos/internal/sgx"
+)
+
+func newFS(t testing.TB) (*FS, *sgx.Platform, *sgx.Thread) {
+	t.Helper()
+	plat, err := sgx.NewPlatform(sgx.Config{UsablePRMBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFS(plat), plat, plat.NewHostThread(cache.CoSDefault)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	fs, _, th := newFS(t)
+	h := th.HostContext()
+	fd, err := fs.Open(h, "/data/test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 100<<10)
+	rand.New(rand.NewSource(1)).Read(want)
+	if n, err := fs.PWrite(h, fd, 500, want); err != nil || n != len(want) {
+		t.Fatalf("pwrite: n=%d err=%v", n, err)
+	}
+	got := make([]byte, len(want))
+	if n, err := fs.PRead(h, fd, 500, got); err != nil || n != len(want) {
+		t.Fatalf("pread: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("file readback mismatch")
+	}
+	if sz, _ := fs.Size("/data/test"); sz != 500+uint64(len(want)) {
+		t.Fatalf("size %d", sz)
+	}
+	if err := fs.Fsync(h, fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(h, fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.PRead(h, fd, 0, got); !errors.Is(err, ErrBadFD) {
+		t.Fatalf("read after close: %v", err)
+	}
+}
+
+func TestGrowthAcrossReallocation(t *testing.T) {
+	fs, _, th := newFS(t)
+	h := th.HostContext()
+	fd, _ := fs.Open(h, "/grow")
+	chunk := make([]byte, 512<<10)
+	for i := range chunk {
+		chunk[i] = byte(i)
+	}
+	// 8 writes of 512KiB force multiple extent reallocations past the
+	// initial 1MiB region.
+	for i := uint64(0); i < 8; i++ {
+		if _, err := fs.PWrite(h, fd, i*uint64(len(chunk)), chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, len(chunk))
+	for i := uint64(0); i < 8; i++ {
+		fs.PRead(h, fd, i*uint64(len(chunk)), got)
+		if !bytes.Equal(got, chunk) {
+			t.Fatalf("chunk %d corrupted across growth", i)
+		}
+	}
+}
+
+func TestEOFSemantics(t *testing.T) {
+	fs, _, th := newFS(t)
+	h := th.HostContext()
+	fd, _ := fs.Open(h, "/eof")
+	fs.PWrite(h, fd, 0, []byte("hello"))
+	buf := make([]byte, 10)
+	if n, err := fs.PRead(h, fd, 3, buf); err != nil || n != 2 {
+		t.Fatalf("short read n=%d err=%v", n, err)
+	}
+	if n, err := fs.PRead(h, fd, 5, buf); err != nil || n != 0 {
+		t.Fatalf("read at EOF n=%d err=%v", n, err)
+	}
+	if n, err := fs.PRead(h, fd, 100, buf); err != nil || n != 0 {
+		t.Fatalf("read past EOF n=%d err=%v", n, err)
+	}
+}
+
+func TestSharedNamespace(t *testing.T) {
+	fs, _, th := newFS(t)
+	h := th.HostContext()
+	fd1, _ := fs.Open(h, "/shared")
+	fd2, _ := fs.Open(h, "/shared")
+	fs.PWrite(h, fd1, 0, []byte("via fd1"))
+	got := make([]byte, 7)
+	fs.PRead(h, fd2, 0, got)
+	if string(got) != "via fd1" {
+		t.Fatalf("descriptors do not share the file: %q", got)
+	}
+}
+
+func TestExitlessFileIO(t *testing.T) {
+	// The point of fsim: file syscalls from an enclave via RPC cause no
+	// exits; via OCALL they do.
+	fs, plat, _ := newFS(t)
+	encl, _ := plat.NewEnclave()
+	th := encl.NewThread()
+	th.Enter()
+	pool := rpc.NewPool(plat, 1, 64)
+	pool.Start()
+	defer pool.Stop()
+
+	var fd int
+	exits0, _, _, _, _ := encl.Stats().Snapshot()
+	pool.Call(th, func(h *sgx.HostCtx) { fd, _ = fs.Open(h, "/enclave-file") })
+	data := []byte("written from inside, exitlessly")
+	pool.Call(th, func(h *sgx.HostCtx) { fs.PWrite(h, fd, 0, data) })
+	got := make([]byte, len(data))
+	pool.Call(th, func(h *sgx.HostCtx) { fs.PRead(h, fd, 0, got) })
+	exits1, _, _, _, _ := encl.Stats().Snapshot()
+	if exits1 != exits0 {
+		t.Fatalf("RPC file I/O exited %d times", exits1-exits0)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("RPC file roundtrip mismatch")
+	}
+	th.OCall(func(h *sgx.HostCtx) { fs.Fsync(h, fd) })
+	exits2, _, _, _, _ := encl.Stats().Snapshot()
+	if exits2 != exits1+1 {
+		t.Fatal("OCALL file I/O did not exit")
+	}
+	if fs.Syscalls() != 4 {
+		t.Fatalf("syscall count %d, want 4", fs.Syscalls())
+	}
+}
+
+func TestRawReadSeesHostBytes(t *testing.T) {
+	// The filesystem is untrusted: the host sees exactly what was
+	// written. (The seclog example shows why enclaves must seal first.)
+	fs, _, th := newFS(t)
+	h := th.HostContext()
+	fd, _ := fs.Open(h, "/clear")
+	fs.PWrite(h, fd, 0, []byte("visible to the host"))
+	raw := make([]byte, 19)
+	if err := fs.RawRead("/clear", 0, raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "visible to the host" {
+		t.Fatalf("raw read %q", raw)
+	}
+}

@@ -1,0 +1,179 @@
+// Package hostmem provides the untrusted memory of the enclave's owner
+// process: a sparse byte arena addressed by simulated physical address,
+// plus a buddy allocator in the style of the SQLite zero-malloc
+// allocator the paper uses for the SUVM backing store (§4.1). Evicted
+// pages, RPC job queues, syscall I/O buffers and security-insensitive
+// application metadata all live here.
+package hostmem
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"eleos/internal/phys"
+)
+
+// chunkShift sizes the sparse storage chunks (1 MiB).
+const chunkShift = 20
+
+const chunkSize = 1 << chunkShift
+
+// Arena is the untrusted DRAM of the simulated machine. Storage is
+// materialized lazily in 1 MiB chunks, so multi-gigabyte experiments
+// only pay for pages they actually touch. An Arena is safe for
+// concurrent use; byte-range races are the caller's concern, exactly as
+// with real shared memory.
+type Arena struct {
+	mu     sync.RWMutex
+	chunks map[uint64][]byte
+	alloc  *Buddy
+
+	// trace, when set, observes every ReadAt/WriteAt — the vantage
+	// point of the untrusted OS, which sees all traffic to host memory
+	// (by page-table tricks or cache probing). Used to demonstrate the
+	// §3.2.5 access-pattern side channel.
+	trace atomic.Pointer[TraceFunc]
+}
+
+// TraceFunc observes one host-memory access.
+type TraceFunc func(addr uint64, n int, write bool)
+
+// SetTrace installs (or clears, with nil) the host-side observer.
+func (a *Arena) SetTrace(f TraceFunc) {
+	if f == nil {
+		a.trace.Store(nil)
+		return
+	}
+	a.trace.Store(&f)
+}
+
+func (a *Arena) observe(addr uint64, n int, write bool) {
+	if f := a.trace.Load(); f != nil {
+		(*f)(addr, n, write)
+	}
+}
+
+// NewArena creates an arena spanning sizeBytes of untrusted address
+// space starting at phys.HostBase. sizeBytes must be a power of two and
+// at least MinBlock.
+func NewArena(sizeBytes uint64) (*Arena, error) {
+	b, err := NewBuddy(phys.HostBase, sizeBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Arena{chunks: make(map[uint64][]byte), alloc: b}, nil
+}
+
+// Alloc reserves n bytes of untrusted memory and returns its physical
+// address. The returned region is zeroed.
+func (a *Arena) Alloc(n uint64) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.alloc.Alloc(n)
+}
+
+// Free releases a region previously returned by Alloc.
+func (a *Arena) Free(addr uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.alloc.Free(addr)
+}
+
+// AllocSize reports the usable size of an allocated block.
+func (a *Arena) AllocSize(addr uint64) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.alloc.BlockSize(addr)
+}
+
+// InUse returns the number of bytes currently allocated (rounded up to
+// block granularity, as a real buddy allocator would report).
+func (a *Arena) InUse() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.alloc.InUse()
+}
+
+// WriteAt copies data into the arena at physical address addr.
+func (a *Arena) WriteAt(addr uint64, data []byte) {
+	a.observe(addr, len(data), true)
+	for len(data) > 0 {
+		c := a.chunkForWrite(addr)
+		off := addr & (chunkSize - 1)
+		n := copy(c[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// ReadAt copies bytes from the arena at addr into buf. Untouched memory
+// reads as zero.
+func (a *Arena) ReadAt(addr uint64, buf []byte) {
+	a.observe(addr, len(buf), false)
+	for len(buf) > 0 {
+		off := addr & (chunkSize - 1)
+		n := chunkSize - int(off)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		c := a.chunkForRead(addr)
+		if c == nil {
+			for i := 0; i < n; i++ {
+				buf[i] = 0
+			}
+		} else {
+			copy(buf[:n], c[off:])
+		}
+		buf = buf[n:]
+		addr += uint64(n)
+	}
+}
+
+// Slice returns a writable view of [addr, addr+n) when the range lies in
+// a single chunk, materializing it if needed; otherwise it returns nil
+// and the caller must fall back to ReadAt/WriteAt. It exists so sealing
+// can encrypt directly into backing-store memory without extra copies.
+func (a *Arena) Slice(addr uint64, n int) []byte {
+	if n <= 0 || int(addr&(chunkSize-1))+n > chunkSize {
+		return nil
+	}
+	c := a.chunkForWrite(addr)
+	off := addr & (chunkSize - 1)
+	return c[off : int(off)+n]
+}
+
+func (a *Arena) chunkForRead(addr uint64) []byte {
+	a.mu.RLock()
+	c := a.chunks[addr>>chunkShift]
+	a.mu.RUnlock()
+	return c
+}
+
+func (a *Arena) chunkForWrite(addr uint64) []byte {
+	key := addr >> chunkShift
+	a.mu.RLock()
+	c := a.chunks[key]
+	a.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if c = a.chunks[key]; c == nil {
+		c = make([]byte, chunkSize)
+		a.chunks[key] = c
+	}
+	return c
+}
+
+// Footprint returns the bytes of host storage actually materialized.
+func (a *Arena) Footprint() uint64 {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return uint64(len(a.chunks)) * chunkSize
+}
+
+func (a *Arena) String() string {
+	return fmt.Sprintf("arena[%d KiB in use, %d KiB resident]", a.InUse()>>10, a.Footprint()>>10)
+}

@@ -1,0 +1,142 @@
+package hostmem
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// MinBlock is the smallest allocation granule, matching the 16-byte
+// minimum of the SQLite slab allocator the paper configures (§4.1).
+const MinBlock = 16
+
+const minOrder = 4 // log2(MinBlock)
+
+// Allocation errors.
+var (
+	ErrOutOfMemory = errors.New("hostmem: out of memory")
+	ErrBadFree     = errors.New("hostmem: free of unallocated address")
+	ErrBadSize     = errors.New("hostmem: invalid allocation size")
+)
+
+// Buddy is a classic binary-buddy allocator over a power-of-two region
+// of the simulated physical address space. It implements the "standard
+// buddy system to reduce fragmentation" behaviour of the SQLite
+// zero-malloc subsystem. Not safe for concurrent use; Arena wraps it
+// with a lock.
+type Buddy struct {
+	base     uint64
+	size     uint64
+	maxOrder uint
+	// free[o] holds the offsets (relative to base) of free blocks of
+	// order o. The map form gives O(1) buddy removal during merging.
+	free []map[uint64]struct{}
+	// allocated maps offset -> order for live blocks.
+	allocated map[uint64]uint
+	inUse     uint64
+}
+
+// NewBuddy creates an allocator for [base, base+size). size must be a
+// power of two and at least MinBlock.
+func NewBuddy(base, size uint64) (*Buddy, error) {
+	if size < MinBlock || size&(size-1) != 0 {
+		return nil, fmt.Errorf("%w: region size %d must be a power of two >= %d", ErrBadSize, size, MinBlock)
+	}
+	maxOrder := uint(bits.TrailingZeros64(size))
+	b := &Buddy{
+		base:      base,
+		size:      size,
+		maxOrder:  maxOrder,
+		free:      make([]map[uint64]struct{}, maxOrder+1),
+		allocated: make(map[uint64]uint),
+	}
+	for i := range b.free {
+		b.free[i] = make(map[uint64]struct{})
+	}
+	b.free[maxOrder][0] = struct{}{}
+	return b, nil
+}
+
+// orderFor returns the smallest order whose block size fits n bytes.
+func orderFor(n uint64) uint {
+	if n <= MinBlock {
+		return minOrder
+	}
+	o := uint(bits.Len64(n - 1))
+	return o
+}
+
+// Alloc reserves a block of at least n bytes and returns its address.
+func (b *Buddy) Alloc(n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("%w: zero-byte allocation", ErrBadSize)
+	}
+	want := orderFor(n)
+	if want > b.maxOrder {
+		return 0, fmt.Errorf("%w: %d bytes exceeds region size %d", ErrOutOfMemory, n, b.size)
+	}
+	// Find the smallest order >= want with a free block.
+	o := want
+	for o <= b.maxOrder && len(b.free[o]) == 0 {
+		o++
+	}
+	if o > b.maxOrder {
+		return 0, fmt.Errorf("%w: no free block for %d bytes", ErrOutOfMemory, n)
+	}
+	var off uint64
+	for k := range b.free[o] {
+		off = k
+		break
+	}
+	delete(b.free[o], off)
+	// Split down to the wanted order, returning the upper halves.
+	for o > want {
+		o--
+		b.free[o][off+(uint64(1)<<o)] = struct{}{}
+	}
+	b.allocated[off] = want
+	b.inUse += uint64(1) << want
+	return b.base + off, nil
+}
+
+// Free releases the block at addr, merging buddies as far as possible.
+func (b *Buddy) Free(addr uint64) error {
+	off := addr - b.base
+	order, ok := b.allocated[off]
+	if !ok {
+		return fmt.Errorf("%w: %#x", ErrBadFree, addr)
+	}
+	delete(b.allocated, off)
+	b.inUse -= uint64(1) << order
+	for order < b.maxOrder {
+		buddy := off ^ (uint64(1) << order)
+		if _, free := b.free[order][buddy]; !free {
+			break
+		}
+		delete(b.free[order], buddy)
+		if buddy < off {
+			off = buddy
+		}
+		order++
+	}
+	b.free[order][off] = struct{}{}
+	return nil
+}
+
+// BlockSize returns the usable size of the live block at addr.
+func (b *Buddy) BlockSize(addr uint64) (uint64, error) {
+	order, ok := b.allocated[addr-b.base]
+	if !ok {
+		return 0, fmt.Errorf("%w: %#x", ErrBadFree, addr)
+	}
+	return uint64(1) << order, nil
+}
+
+// InUse returns the total bytes held by live blocks (block granularity).
+func (b *Buddy) InUse() uint64 { return b.inUse }
+
+// FreeBytes returns the total bytes on the free lists.
+func (b *Buddy) FreeBytes() uint64 { return b.size - b.inUse }
+
+// Size returns the region size.
+func (b *Buddy) Size() uint64 { return b.size }

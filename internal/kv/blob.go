@@ -1,0 +1,177 @@
+package kv
+
+import (
+	"fmt"
+
+	"eleos/internal/sgx"
+)
+
+// BlobTable is a chained hash table with variable-length byte keys and
+// values, laid out entirely inside one Mem region — the store behind the
+// face-verification server (40-byte person IDs mapping to 232 KiB image
+// histograms, §5.2). Nodes are bump-allocated; the table does not
+// support deletion (the workload never deletes).
+//
+// Region layout: [bucket heads: nbuckets * 8][nodes...]
+// Node layout:   [next 8][keyLen 4][valLen 4][key][value]
+type BlobTable struct {
+	mem       Mem
+	buckets   uint64
+	allocNext uint64
+	count     uint64
+}
+
+const blobHdrBytes = 16
+
+// NewBlobTable initializes a table with nbuckets (power of two) in mem.
+func NewBlobTable(mem Mem, nbuckets uint64) (*BlobTable, error) {
+	if nbuckets == 0 || nbuckets&(nbuckets-1) != 0 {
+		return nil, fmt.Errorf("kv: bucket count %d must be a power of two", nbuckets)
+	}
+	if mem.Size() < nbuckets*8 {
+		return nil, fmt.Errorf("kv: region too small for %d buckets", nbuckets)
+	}
+	return &BlobTable{mem: mem, buckets: nbuckets, allocNext: nbuckets * 8}, nil
+}
+
+// Len returns the number of stored entries.
+func (t *BlobTable) Len() uint64 { return t.count }
+
+// BytesUsed returns the bytes consumed inside the region.
+func (t *BlobTable) BytesUsed() uint64 { return t.allocNext }
+
+func hashBytes(key []byte) uint64 {
+	// FNV-1a, then a final avalanche.
+	h := uint64(1469598103934665603)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return hash64(h)
+}
+
+func (t *BlobTable) bucketOff(key []byte) uint64 {
+	return (hashBytes(key) & (t.buckets - 1)) * 8
+}
+
+// find walks the chain, comparing keys byte-for-byte through the Mem
+// (so key comparisons on SUVM pay the suvm_memcmp path, as memcached's
+// port does). Returns the node offset or 0.
+func (t *BlobTable) find(th *sgx.Thread, key []byte) (uint64, error) {
+	off, err := readU64(th, t.mem, t.bucketOff(key))
+	if err != nil {
+		return 0, err
+	}
+	var hdr [blobHdrBytes]byte
+	keyBuf := make([]byte, len(key))
+	for off != 0 {
+		if err := t.mem.Read(th, off, hdr[:]); err != nil {
+			return 0, err
+		}
+		keyLen := leU32(hdr[8:12])
+		if int(keyLen) == len(key) {
+			if err := t.mem.Read(th, off+blobHdrBytes, keyBuf); err != nil {
+				return 0, err
+			}
+			if bytesEqual(keyBuf, key) {
+				return off, nil
+			}
+		}
+		off = leU64(hdr[0:8])
+	}
+	return 0, nil
+}
+
+// Put inserts key/value; updating an existing key requires the same
+// value length (matching the workload, which stores fixed-shape blobs).
+func (t *BlobTable) Put(th *sgx.Thread, key, val []byte) error {
+	if len(key) == 0 {
+		return ErrBadKey
+	}
+	off, err := t.find(th, key)
+	if err != nil {
+		return err
+	}
+	if off != 0 {
+		var hdr [blobHdrBytes]byte
+		if err := t.mem.Read(th, off, hdr[:]); err != nil {
+			return err
+		}
+		if int(leU32(hdr[12:16])) != len(val) {
+			return fmt.Errorf("kv: value length change %d -> %d not supported", leU32(hdr[12:16]), len(val))
+		}
+		return t.mem.Write(th, off+blobHdrBytes+uint64(len(key)), val)
+	}
+	need := uint64(blobHdrBytes + len(key) + len(val))
+	if t.allocNext+need > t.mem.Size() {
+		return ErrFull
+	}
+	node := t.allocNext
+	t.allocNext += (need + 15) &^ 15
+	head, err := readU64(th, t.mem, t.bucketOff(key))
+	if err != nil {
+		return err
+	}
+	var hdr [blobHdrBytes]byte
+	putLeU64(hdr[0:8], head)
+	putLeU32(hdr[8:12], uint32(len(key)))
+	putLeU32(hdr[12:16], uint32(len(val)))
+	if err := t.mem.Write(th, node, hdr[:]); err != nil {
+		return err
+	}
+	if err := t.mem.Write(th, node+blobHdrBytes, key); err != nil {
+		return err
+	}
+	if err := t.mem.Write(th, node+blobHdrBytes+uint64(len(key)), val); err != nil {
+		return err
+	}
+	if err := writeU64(th, t.mem, t.bucketOff(key), node); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// Get copies the value for key into val (which must be exactly the
+// stored length) and returns the value length.
+func (t *BlobTable) Get(th *sgx.Thread, key, val []byte) (int, error) {
+	off, err := t.find(th, key)
+	if err != nil {
+		return 0, err
+	}
+	if off == 0 {
+		return 0, ErrNotFound
+	}
+	var hdr [blobHdrBytes]byte
+	if err := t.mem.Read(th, off, hdr[:]); err != nil {
+		return 0, err
+	}
+	vlen := int(leU32(hdr[12:16]))
+	if vlen > len(val) {
+		return 0, fmt.Errorf("kv: value of %d bytes exceeds buffer of %d", vlen, len(val))
+	}
+	if err := t.mem.Read(th, off+blobHdrBytes+uint64(leU32(hdr[8:12])), val[:vlen]); err != nil {
+		return 0, err
+	}
+	return vlen, nil
+}
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func putLeU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

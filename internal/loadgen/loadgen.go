@@ -1,0 +1,79 @@
+// Package loadgen generates deterministic client request streams, in
+// the role memaslap and the paper's custom generator play on the second
+// machine of the testbed: uniform or hot-set-restricted random keys,
+// optional Zipfian skew, and batch requests of configurable size.
+// Everything is seeded, so two benchmark runs draw identical request
+// sequences.
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// KeyGen draws keys from [1, Space] (zero is reserved by the tables).
+type KeyGen struct {
+	rng   *rand.Rand
+	space uint64
+	hot   uint64 // if non-zero, keys are drawn from [1, hot]
+	zipf  *rand.Zipf
+}
+
+// NewKeyGen creates a uniform generator over [1, space].
+func NewKeyGen(seed int64, space uint64) *KeyGen {
+	if space == 0 {
+		panic("loadgen: empty key space")
+	}
+	return &KeyGen{rng: rand.New(rand.NewSource(seed)), space: space}
+}
+
+// HotSet restricts draws to the first n keys — the Fig 2a/6b workload,
+// where the server holds 64 MB but requests touch only an LLC-sized
+// 8 MB subset.
+func (g *KeyGen) HotSet(n uint64) *KeyGen {
+	if n > g.space {
+		n = g.space
+	}
+	g.hot = n
+	return g
+}
+
+// Zipfian switches to a Zipf(s) distribution over the (hot) key space,
+// the skew memaslap can apply.
+func (g *KeyGen) Zipfian(s float64) *KeyGen {
+	space := g.space
+	if g.hot != 0 {
+		space = g.hot
+	}
+	if s <= 1 {
+		s = math.Nextafter(1, 2)
+	}
+	g.zipf = rand.NewZipf(g.rng, s, 1, space-1)
+	return g
+}
+
+// Next draws one key.
+func (g *KeyGen) Next() uint64 {
+	if g.zipf != nil {
+		return g.zipf.Uint64() + 1
+	}
+	space := g.space
+	if g.hot != 0 {
+		space = g.hot
+	}
+	return uint64(g.rng.Int63n(int64(space))) + 1
+}
+
+// Batch fills dst with keys and returns it.
+func (g *KeyGen) Batch(dst []uint64) []uint64 {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+	return dst
+}
+
+// Bytes fills dst with deterministic pseudo-random payload bytes.
+func (g *KeyGen) Bytes(dst []byte) []byte {
+	g.rng.Read(dst)
+	return dst
+}

@@ -1,0 +1,68 @@
+package loadgen
+
+import "testing"
+
+func TestDeterminism(t *testing.T) {
+	a := NewKeyGen(42, 1000)
+	b := NewKeyGen(42, 1000)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRangeAndNonZero(t *testing.T) {
+	g := NewKeyGen(1, 50)
+	for i := 0; i < 10000; i++ {
+		k := g.Next()
+		if k == 0 || k > 50 {
+			t.Fatalf("key %d out of [1,50]", k)
+		}
+	}
+}
+
+func TestHotSetRestriction(t *testing.T) {
+	g := NewKeyGen(2, 1_000_000).HotSet(100)
+	for i := 0; i < 10000; i++ {
+		if k := g.Next(); k > 100 {
+			t.Fatalf("hot-set draw %d escaped the hot set", k)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewKeyGen(3, 10000).Zipfian(1.2)
+	counts := make(map[uint64]int)
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	// Key 1 must dominate dramatically under Zipf.
+	if counts[1] < draws/10 {
+		t.Fatalf("zipf head got %d of %d draws", counts[1], draws)
+	}
+}
+
+func TestBatchAndBytes(t *testing.T) {
+	g := NewKeyGen(4, 10)
+	keys := g.Batch(make([]uint64, 8))
+	if len(keys) != 8 {
+		t.Fatal("batch length")
+	}
+	for _, k := range keys {
+		if k == 0 || k > 10 {
+			t.Fatalf("batch key %d", k)
+		}
+	}
+	b := g.Bytes(make([]byte, 64))
+	allZero := true
+	for _, x := range b {
+		if x != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("payload bytes not filled")
+	}
+}

@@ -1,0 +1,129 @@
+package mckv
+
+import (
+	"fmt"
+
+	"eleos/internal/netsim"
+	"eleos/internal/rpc"
+	"eleos/internal/sgx"
+)
+
+// SyscallMode selects the store's path to the OS for network I/O.
+type SyscallMode int
+
+// Syscall mechanisms: the Graphene baseline exits per syscall; Eleos
+// integrates its RPC into Graphene (§5.1).
+const (
+	SysNative SyscallMode = iota
+	SysOCall
+	SysRPC
+)
+
+func (m SyscallMode) String() string {
+	switch m {
+	case SysNative:
+		return "native"
+	case SysOCall:
+		return "ocall"
+	default:
+		return "rpc"
+	}
+}
+
+// Server is one worker front end over a shared Store: a socket plus the
+// configured syscall mechanism and request crypto. Create one per
+// serving thread.
+type Server struct {
+	store *Store
+	plat  *sgx.Platform
+	sys   SyscallMode
+	pool  *rpc.Pool
+	sock  *netsim.Socket
+	buf   []byte
+}
+
+// NewServer wraps store with a network front end. pool is required for
+// SysRPC.
+func NewServer(store *Store, sys SyscallMode, pool *rpc.Pool) (*Server, error) {
+	if sys == SysRPC && pool == nil {
+		return nil, fmt.Errorf("mckv: RPC mode requires a worker pool")
+	}
+	return &Server{
+		store: store,
+		plat:  store.plat,
+		sys:   sys,
+		pool:  pool,
+		sock:  netsim.NewSocket(store.plat, 1<<20),
+		buf:   make([]byte, 1<<20),
+	}, nil
+}
+
+// Close releases the socket.
+func (s *Server) Close() { s.sock.Close() }
+
+// Store returns the shared store.
+func (s *Server) Store() *Store { return s.store }
+
+// GetRequestBytes is the wire size of a GET for a key of klen bytes.
+func GetRequestBytes(klen int) int { return 8 + klen + 28 }
+
+// SetRequestBytes is the wire size of a SET carrying klen+vlen payload.
+func SetRequestBytes(klen, vlen int) int { return 8 + klen + vlen + 28 }
+
+// recv/send via the configured mechanism.
+func (s *Server) netCall(th *sgx.Thread, f func(*sgx.HostCtx)) {
+	switch s.sys {
+	case SysNative:
+		f(th.HostContext())
+	case SysOCall:
+		th.OCall(f)
+	case SysRPC:
+		s.pool.Call(th, f)
+	}
+}
+
+// ServeGet handles one GET request end to end: receive, decrypt, look
+// the key up, and send the encrypted value back. Returns the value
+// length.
+func (s *Server) ServeGet(th *sgx.Thread, key []byte) (int, error) {
+	reqN := GetRequestBytes(len(key))
+	s.sock.Deliver(key) // the client's (encrypted) request carries the key
+	s.netCall(th, func(h *sgx.HostCtx) { s.sock.Recv(h, reqN) })
+	th.Read(s.sock.UserBuf(), s.buf[:len(key)])
+	netsim.CryptoCost(th.T, s.plat.Model, reqN)
+
+	vlen, err := s.store.Get(th, key, s.buf)
+	if err != nil {
+		return 0, err
+	}
+
+	respN := vlen + 40 // VALUE header + envelope
+	netsim.CryptoCost(th.T, s.plat.Model, respN)
+	th.Write(s.sock.UserBuf(), s.buf[:vlen])
+	s.netCall(th, func(h *sgx.HostCtx) { s.sock.Send(h, respN) })
+	return vlen, nil
+}
+
+// ServeSet handles one SET request end to end.
+func (s *Server) ServeSet(th *sgx.Thread, key, val []byte) error {
+	reqN := SetRequestBytes(len(key), len(val))
+	s.sock.Deliver(val)
+	s.netCall(th, func(h *sgx.HostCtx) { s.sock.Recv(h, reqN) })
+	th.Read(s.sock.UserBuf(), s.buf[:min(len(val), len(s.buf))])
+	netsim.CryptoCost(th.T, s.plat.Model, reqN)
+
+	if err := s.store.Set(th, key, val); err != nil {
+		return err
+	}
+
+	netsim.CryptoCost(th.T, s.plat.Model, 8+28) // STORED
+	s.netCall(th, func(h *sgx.HostCtx) { s.sock.Send(h, 8+28) })
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

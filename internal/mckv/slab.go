@@ -1,0 +1,100 @@
+// Package mckv is a memcached-style in-memory key-value store built for
+// enclave execution, reproducing the paper's §5.1 port: the item memory
+// pool is managed by memcached's own slab allocator and LRU, while the
+// *placement* of the two halves follows the Eleos split — security-
+// insensitive metadata (hash chains, LRU links, slab bookkeeping, access
+// times) lives in untrusted host memory in the clear, and the sensitive
+// payload (key, value, and their sizes) lives behind SGX protection: in
+// the hardware-paged enclave heap for the Graphene-style baseline, or in
+// SUVM (page-cached or sub-page direct) for the Eleos configurations.
+package mckv
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoMem reports slab-pool exhaustion (the store then evicts LRU
+// items and retries, as memcached does).
+var ErrNoMem = errors.New("mckv: slab pool exhausted")
+
+// slab sizing follows memcached's defaults: a minimum chunk, a growth
+// factor of 1.25, and 1 MiB slabs carved into equal chunks.
+const (
+	minChunk    = 96
+	growthNum   = 5 // 1.25 = 5/4
+	growthDen   = 4
+	slabBytes   = 1 << 20
+	maxItemSize = slabBytes
+)
+
+type slabClass struct {
+	chunk uint64
+	free  []uint64 // offsets of free chunks in the pool
+}
+
+// slabAlloc carves a fixed-size pool (addressed by offset) into
+// size-class chunks. Not safe for concurrent use; the Store serializes.
+type slabAlloc struct {
+	classes []slabClass
+	bump    uint64
+	limit   uint64
+	inUse   uint64
+}
+
+func newSlabAlloc(limit uint64) *slabAlloc {
+	a := &slabAlloc{limit: limit}
+	for c := uint64(minChunk); c <= maxItemSize; c = c * growthNum / growthDen {
+		a.classes = append(a.classes, slabClass{chunk: c})
+		if c == maxItemSize {
+			break
+		}
+		if c*growthNum/growthDen > maxItemSize {
+			a.classes = append(a.classes, slabClass{chunk: maxItemSize})
+			break
+		}
+	}
+	return a
+}
+
+// classFor returns the index of the smallest class fitting n bytes.
+func (a *slabAlloc) classFor(n uint64) (int, error) {
+	for i := range a.classes {
+		if a.classes[i].chunk >= n {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("mckv: item of %d bytes exceeds max item size %d", n, maxItemSize)
+}
+
+// alloc returns a chunk offset for class ci, carving a new slab from the
+// pool if the class free list is empty. Returns ErrNoMem when the pool
+// is exhausted.
+func (a *slabAlloc) alloc(ci int) (uint64, error) {
+	cl := &a.classes[ci]
+	if n := len(cl.free); n > 0 {
+		off := cl.free[n-1]
+		cl.free = cl.free[:n-1]
+		a.inUse += cl.chunk
+		return off, nil
+	}
+	if a.bump+slabBytes > a.limit {
+		return 0, ErrNoMem
+	}
+	base := a.bump
+	a.bump += slabBytes
+	for off := base + cl.chunk; off+cl.chunk <= base+slabBytes; off += cl.chunk {
+		cl.free = append(cl.free, off)
+	}
+	a.inUse += cl.chunk
+	return base, nil
+}
+
+// release returns a chunk to its class.
+func (a *slabAlloc) release(ci int, off uint64) {
+	a.classes[ci].free = append(a.classes[ci].free, off)
+	a.inUse -= a.classes[ci].chunk
+}
+
+// InUse returns bytes held by live chunks.
+func (a *slabAlloc) InUse() uint64 { return a.inUse }

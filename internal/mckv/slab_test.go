@@ -1,0 +1,88 @@
+package mckv
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSlabClassSizing(t *testing.T) {
+	a := newSlabAlloc(16 << 20)
+	if a.classes[0].chunk != minChunk {
+		t.Fatalf("first class %d", a.classes[0].chunk)
+	}
+	// Growth factor 1.25, monotonic, capped at the max item size.
+	for i := 1; i < len(a.classes); i++ {
+		prev, cur := a.classes[i-1].chunk, a.classes[i].chunk
+		if cur <= prev {
+			t.Fatalf("class %d not growing: %d -> %d", i, prev, cur)
+		}
+	}
+	if last := a.classes[len(a.classes)-1].chunk; last != maxItemSize {
+		t.Fatalf("last class %d want %d", last, maxItemSize)
+	}
+}
+
+func TestSlabClassForFits(t *testing.T) {
+	a := newSlabAlloc(16 << 20)
+	for _, n := range []uint64{1, minChunk, 100, 1024, 4096, 100_000, maxItemSize} {
+		ci, err := a.classFor(n)
+		if err != nil {
+			t.Fatalf("classFor(%d): %v", n, err)
+		}
+		if a.classes[ci].chunk < n {
+			t.Fatalf("class %d chunk %d < request %d", ci, a.classes[ci].chunk, n)
+		}
+		if ci > 0 && a.classes[ci-1].chunk >= n {
+			t.Fatalf("classFor(%d) skipped a smaller fitting class", n)
+		}
+	}
+	if _, err := a.classFor(maxItemSize + 1); err == nil {
+		t.Fatal("oversized item accepted")
+	}
+}
+
+func TestSlabAllocReleaseAccounting(t *testing.T) {
+	a := newSlabAlloc(4 << 20)
+	ci, _ := a.classFor(1000)
+	var offs []uint64
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		off, err := a.alloc(ci)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[off] {
+			t.Fatalf("chunk %#x handed out twice", off)
+		}
+		seen[off] = true
+		offs = append(offs, off)
+	}
+	if a.InUse() != 100*a.classes[ci].chunk {
+		t.Fatalf("in-use accounting %d", a.InUse())
+	}
+	for _, off := range offs {
+		a.release(ci, off)
+	}
+	if a.InUse() != 0 {
+		t.Fatalf("in-use after release %d", a.InUse())
+	}
+	// Released chunks are reused before new slabs are carved.
+	off, _ := a.alloc(ci)
+	if !seen[off] {
+		t.Fatal("released chunk not reused")
+	}
+}
+
+func TestSlabExhaustion(t *testing.T) {
+	a := newSlabAlloc(2 << 20) // two slabs
+	ci, _ := a.classFor(maxItemSize)
+	if _, err := a.alloc(ci); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.alloc(ci); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.alloc(ci); !errors.Is(err, ErrNoMem) {
+		t.Fatalf("exhaustion error = %v", err)
+	}
+}

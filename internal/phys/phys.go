@@ -1,0 +1,48 @@
+// Package phys defines the physical address map of the simulated
+// machine. The map exists so the LLC model can tell EPC lines (whose
+// misses pay memory-encryption-engine amplification) from ordinary DRAM
+// lines, and so distinct memory regions never alias in the cache.
+//
+//	[0, EPCLimit)            processor reserved memory (EPC frames)
+//	[HostBase, HostLimit)    untrusted host DRAM
+package phys
+
+// PageSize is the architectural page size.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+const (
+	// EPCBase is the first physical address of processor reserved
+	// memory. Frame n occupies [EPCBase+n*PageSize, ...).
+	EPCBase uint64 = 0
+
+	// EPCLimit is the exclusive upper bound of the PRM range (128 MiB,
+	// the size shipped with the paper's Skylake parts).
+	EPCLimit uint64 = 128 << 20
+
+	// HostBase is the first physical address of untrusted DRAM. The gap
+	// between EPCLimit and HostBase keeps the regions visually distinct
+	// in traces.
+	HostBase uint64 = 1 << 30
+
+	// HostLimit bounds the untrusted arena (64 GiB of address space;
+	// storage is allocated sparsely on demand).
+	HostLimit uint64 = HostBase + (64 << 30)
+)
+
+// IsEPC reports whether a physical address falls in the PRM range.
+func IsEPC(paddr uint64) bool { return paddr < EPCLimit }
+
+// FramePhys returns the physical address of EPC frame n.
+func FramePhys(frame int) uint64 { return EPCBase + uint64(frame)*PageSize }
+
+// PageFloor rounds an address down to a page boundary.
+func PageFloor(addr uint64) uint64 { return addr &^ (PageSize - 1) }
+
+// PageCeil rounds a size up to a whole number of pages.
+func PageCeil(n uint64) uint64 { return (n + PageSize - 1) &^ (PageSize - 1) }
+
+// PageNum returns the page number containing addr.
+func PageNum(addr uint64) uint64 { return addr >> PageShift }

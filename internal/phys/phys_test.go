@@ -1,0 +1,33 @@
+package phys
+
+import "testing"
+
+func TestAddressMap(t *testing.T) {
+	if !IsEPC(0) || !IsEPC(EPCLimit-1) {
+		t.Fatal("PRM range misclassified")
+	}
+	if IsEPC(EPCLimit) || IsEPC(HostBase) {
+		t.Fatal("host range misclassified")
+	}
+	if HostBase <= EPCLimit {
+		t.Fatal("regions overlap")
+	}
+	if FramePhys(0) != EPCBase || FramePhys(1) != EPCBase+PageSize {
+		t.Fatal("frame addressing")
+	}
+}
+
+func TestPageArithmetic(t *testing.T) {
+	if PageFloor(4097) != 4096 || PageFloor(4096) != 4096 {
+		t.Fatal("PageFloor")
+	}
+	if PageCeil(1) != PageSize || PageCeil(PageSize) != PageSize || PageCeil(PageSize+1) != 2*PageSize {
+		t.Fatal("PageCeil")
+	}
+	if PageNum(8191) != 1 || PageNum(8192) != 2 {
+		t.Fatal("PageNum")
+	}
+	if 1<<PageShift != PageSize {
+		t.Fatal("PageShift inconsistent with PageSize")
+	}
+}

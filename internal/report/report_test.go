@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Demo", "name", "value")
+	tb.Note = "paper: reference"
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("a-much-longer-name", 12345.0)
+	out := tb.String()
+	for _, want := range []string{"## Demo", "(paper: reference)", "alpha", "12345", "a-much-longer-name"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header+separator+2 rows after the title/note lines.
+	if len(lines) != 6 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	// Columns align: every data line has the same prefix width before
+	// the second column.
+	hdr := lines[2]
+	idx := strings.Index(hdr, "value")
+	for _, l := range lines[3:] {
+		if len(l) < idx {
+			t.Fatalf("short row %q", l)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Ratio(3, 2); got != "1.50x" {
+		t.Fatalf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "inf" {
+		t.Fatalf("Ratio/0 = %q", got)
+	}
+	if got := KOps(43400); got != "43.4" {
+		t.Fatalf("KOps = %q", got)
+	}
+	cases := map[uint64]string{
+		512:       "512B",
+		2 << 10:   "2KB",
+		512 << 20: "512MB",
+		2 << 30:   "2GB",
+	}
+	for n, want := range cases {
+		if got := Bytes(n); got != want {
+			t.Fatalf("Bytes(%d) = %q want %q", n, got, want)
+		}
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("f", "v")
+	tb.AddRow(0.0)
+	tb.AddRow(3.14159)
+	tb.AddRow(42.7)
+	tb.AddRow(123456.7)
+	out := tb.String()
+	for _, want := range []string{"0", "3.14", "42.7", "123457"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %s", want, out)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package rpc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"eleos/internal/cache"
+	"eleos/internal/sgx"
+)
+
+// request is one delegated untrusted call. The enclave-side caller spins
+// on done; the worker publishes the virtual cycles the call consumed so
+// the caller can account the synchronous latency it observed.
+type request struct {
+	fn         func(*sgx.HostCtx)
+	workCycles uint64
+	done       atomic.Uint32
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Calls     uint64
+	WorkerOps uint64
+}
+
+// Pool is the untrusted RPC runtime: worker threads polling the shared
+// job ring. Workers run with the CoSRPC cache class of service, so
+// enabling LLC partitioning confines their pollution (§3.1, Fig 6b).
+type Pool struct {
+	plat    *sgx.Platform
+	ring    *ring
+	workers []*sgx.Thread
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+	started bool
+
+	calls     atomic.Uint64
+	workerOps atomic.Uint64
+}
+
+// NewPool creates a pool with the given number of worker threads and a
+// job ring of the given capacity (rounded up to a power of two).
+func NewPool(p *sgx.Platform, workers, ringCapacity int) *Pool {
+	if workers <= 0 {
+		workers = 1
+	}
+	capacity := 1
+	for capacity < ringCapacity || capacity < 2*workers {
+		capacity *= 2
+	}
+	pool := &Pool{plat: p, ring: newRing(capacity)}
+	for i := 0; i < workers; i++ {
+		pool.workers = append(pool.workers, p.NewHostThread(cache.CoSRPC))
+	}
+	return pool
+}
+
+// Start launches the worker goroutines. Idempotent.
+func (p *Pool) Start() {
+	if p.started {
+		return
+	}
+	p.started = true
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go p.workerLoop(w)
+	}
+}
+
+// Stop shuts the workers down after the ring drains.
+func (p *Pool) Stop() {
+	if !p.started {
+		return
+	}
+	p.stopped.Store(true)
+	p.wg.Wait()
+	p.started = false
+	p.stopped.Store(false)
+}
+
+// Workers returns the pool's untrusted threads (the harness aggregates
+// their cycle counters into end-to-end numbers).
+func (p *Pool) Workers() []*sgx.Thread { return p.workers }
+
+// Stats returns a snapshot of call counters.
+func (p *Pool) Stats() Stats {
+	return Stats{Calls: p.calls.Load(), WorkerOps: p.workerOps.Load()}
+}
+
+func (p *Pool) workerLoop(w *sgx.Thread) {
+	defer p.wg.Done()
+	ctx := w.HostContext()
+	idle := 0
+	for {
+		req := p.ring.dequeue()
+		if req == nil {
+			if p.stopped.Load() {
+				// Drain check: one more pass in case of a race between
+				// a late enqueue and the stop flag.
+				if req = p.ring.dequeue(); req == nil {
+					return
+				}
+			} else {
+				idle++
+				if idle > 64 {
+					idle = 0
+				}
+				spinWait()
+				continue
+			}
+		}
+		idle = 0
+		start := w.T.Cycles()
+		req.fn(ctx)
+		req.workCycles = w.T.Cycles() - start
+		p.workerOps.Add(1)
+		req.done.Store(1)
+	}
+}
+
+// Call delegates fn to a worker without exiting the enclave. The caller
+// is charged the descriptor enqueue, the synchronous latency of the
+// worker's execution (the virtual cycles the work consumed), and the
+// completion-polling overhead — but no EEXIT/EENTER, no TLB flush and no
+// enclave state disturbance. Safe for concurrent use by many enclave
+// threads.
+func (p *Pool) Call(caller *sgx.Thread, fn func(*sgx.HostCtx)) {
+	if !p.started {
+		panic("rpc: Call on a pool that was not started")
+	}
+	m := caller.Platform().Model
+	caller.T.Charge(m.RPCEnqueue)
+	req := &request{fn: fn}
+	p.ring.enqueue(req)
+	for req.done.Load() == 0 {
+		spinWait()
+	}
+	// The worker's processing time is observed as synchronous latency,
+	// but it is not enclave execution — the caller merely polls.
+	caller.ChargeOutside(req.workCycles + m.RPCPoll)
+	p.calls.Add(1)
+}
+
+// spinWait yields the host CPU between polls. Virtual time is charged
+// explicitly by the cost model, so the only job here is to keep the
+// polling loops from starving other goroutines on the real machine.
+func spinWait() {
+	runtime.Gosched()
+}

@@ -1,0 +1,94 @@
+// Package rpc implements Eleos's exit-less system-call service (§3.1 of
+// the paper): enclave threads post untrusted function calls to a shared
+// job queue in host memory and poll for completion, while a pool of
+// untrusted worker threads polls the queue and executes the calls. No
+// enclave exit happens on the caller's side — no EEXIT/EENTER latency,
+// no TLB flush, no enclave state pollution. The workers' cache footprint
+// can further be confined with CAT partitioning (Platform.LLC).
+//
+// The queue is a real lock-free bounded MPMC ring (sequence-number
+// variant); synchronization between trusted and untrusted contexts is by
+// polling, because enclave threads cannot use OS futexes — exactly the
+// constraint the paper works under.
+package rpc
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// ring is a bounded multi-producer/multi-consumer queue. Each cell
+// carries a sequence number used to detect whether it is ready for the
+// current lap of producers or consumers.
+type ring struct {
+	mask  uint64
+	cells []cell
+	_     [64]byte // keep hot indices on separate cache lines
+	enq   atomic.Uint64
+	_     [64]byte
+	deq   atomic.Uint64
+}
+
+type cell struct {
+	seq atomic.Uint64
+	req *request
+}
+
+func newRing(capacity int) *ring {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("rpc: ring capacity must be a positive power of two")
+	}
+	r := &ring{mask: uint64(capacity - 1), cells: make([]cell, capacity)}
+	for i := range r.cells {
+		r.cells[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// enqueue publishes req, spinning if the ring is momentarily full.
+func (r *ring) enqueue(req *request) {
+	pos := r.enq.Load()
+	for {
+		c := &r.cells[pos&r.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				c.req = req
+				c.seq.Store(pos + 1)
+				return
+			}
+			pos = r.enq.Load()
+		case seq < pos:
+			// Full: wait for a consumer to free the cell.
+			runtime.Gosched()
+			pos = r.enq.Load()
+		default:
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// dequeue removes one request, returning nil immediately when the ring
+// is empty (workers interleave polling with backoff).
+func (r *ring) dequeue() *request {
+	pos := r.deq.Load()
+	for {
+		c := &r.cells[pos&r.mask]
+		seq := c.seq.Load()
+		switch {
+		case seq == pos+1:
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				req := c.req
+				c.req = nil
+				c.seq.Store(pos + r.mask + 1)
+				return req
+			}
+			pos = r.deq.Load()
+		case seq <= pos:
+			return nil
+		default:
+			pos = r.deq.Load()
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package rpc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"eleos/internal/cache"
+	"eleos/internal/sgx"
+)
+
+func newPlat(t testing.TB) *sgx.Platform {
+	t.Helper()
+	p, err := sgx.NewPlatform(sgx.Config{UsablePRMBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRingFIFOSingleThreaded(t *testing.T) {
+	r := newRing(8)
+	var reqs [20]request
+	for i := 0; i < 8; i++ {
+		r.enqueue(&reqs[i])
+	}
+	for i := 0; i < 8; i++ {
+		if got := r.dequeue(); got != &reqs[i] {
+			t.Fatalf("dequeue %d out of order", i)
+		}
+	}
+	if r.dequeue() != nil {
+		t.Fatal("empty ring returned a request")
+	}
+}
+
+func TestRingConcurrentProducersConsumers(t *testing.T) {
+	r := newRing(64)
+	const total = 20000
+	var consumed atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for consumed.Load() < total {
+				if req := r.dequeue(); req != nil {
+					req.done.Store(1)
+					consumed.Add(1)
+				}
+			}
+		}()
+	}
+	var pwg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pwg.Add(1)
+		go func() {
+			defer pwg.Done()
+			for i := 0; i < total/4; i++ {
+				r.enqueue(&request{})
+			}
+		}()
+	}
+	pwg.Wait()
+	wg.Wait()
+	if consumed.Load() != total {
+		t.Fatalf("consumed %d of %d", consumed.Load(), total)
+	}
+}
+
+func TestCallExecutesWorkWithoutExits(t *testing.T) {
+	plat := newPlat(t)
+	encl, _ := plat.NewEnclave()
+	th := encl.NewThread()
+	th.Enter()
+	pool := NewPool(plat, 2, 64)
+	pool.Start()
+	defer pool.Stop()
+
+	ran := false
+	exits0, _, _, _, _ := encl.Stats().Snapshot()
+	pool.Call(th, func(h *sgx.HostCtx) {
+		h.Syscall(nil)
+		ran = true
+	})
+	exits1, _, _, _, _ := encl.Stats().Snapshot()
+	if !ran {
+		t.Fatal("delegated call did not run")
+	}
+	if exits1 != exits0 {
+		t.Fatal("exit-less call exited the enclave")
+	}
+	if pool.Stats().Calls != 1 {
+		t.Fatalf("call count %+v", pool.Stats())
+	}
+}
+
+func TestCallChargesEnqueueWorkAndPoll(t *testing.T) {
+	plat := newPlat(t)
+	encl, _ := plat.NewEnclave()
+	th := encl.NewThread()
+	th.Enter()
+	pool := NewPool(plat, 1, 64)
+	pool.Start()
+	defer pool.Stop()
+	m := plat.Model
+
+	before := th.T.Cycles()
+	pool.Call(th, func(h *sgx.HostCtx) { h.Syscall(nil) })
+	got := th.T.Cycles() - before
+	want := m.RPCEnqueue + m.Syscall + m.RPCPoll
+	if got != want {
+		t.Fatalf("call charged %d cycles, want %d (enqueue+work+poll)", got, want)
+	}
+	// And the synchronous wait is excluded from in-enclave time.
+	if th.SyncEnclaveCycles() >= got {
+		t.Fatal("worker cycles were attributed to in-enclave execution")
+	}
+}
+
+func TestConcurrentCallersManyWorkers(t *testing.T) {
+	plat := newPlat(t)
+	encl, _ := plat.NewEnclave()
+	pool := NewPool(plat, 3, 64)
+	pool.Start()
+	defer pool.Stop()
+
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := encl.NewThread()
+			th.Enter()
+			for i := 0; i < 500; i++ {
+				pool.Call(th, func(h *sgx.HostCtx) { count.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if count.Load() != 2000 {
+		t.Fatalf("ran %d of 2000 calls", count.Load())
+	}
+}
+
+func TestWorkersUseRPCClassOfService(t *testing.T) {
+	plat := newPlat(t)
+	pool := NewPool(plat, 2, 64)
+	for _, w := range pool.Workers() {
+		if w.Enclave() != nil {
+			t.Fatal("worker is an enclave thread")
+		}
+	}
+	_ = cache.CoSRPC // workers are created with CoSRPC; verified via fig6b behaviour
+}

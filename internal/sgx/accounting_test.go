@@ -1,0 +1,138 @@
+package sgx
+
+import (
+	"testing"
+
+	"eleos/internal/phys"
+)
+
+func TestInEnclaveTimeExcludesOCallWork(t *testing.T) {
+	p := testPlatform(t, 4<<20)
+	e, _ := p.NewEnclave()
+	th := enterThread(t, e)
+
+	// Burn some in-enclave cycles.
+	addr := e.Alloc(64 << 10)
+	buf := make([]byte, 4096)
+	for i := 0; i < 16; i++ {
+		th.Write(addr+uint64(i)*phys.PageSize, buf)
+	}
+	inside := th.SyncEnclaveCycles()
+	if inside == 0 {
+		t.Fatal("no in-enclave time recorded")
+	}
+
+	// An OCALL whose host work is huge must not count as in-enclave.
+	th.OCall(func(h *HostCtx) {
+		h.Thread().T.Charge(1_000_000)
+	})
+	after := th.SyncEnclaveCycles()
+	if after-inside > 50_000 {
+		t.Fatalf("OCALL host work leaked into in-enclave time: +%d", after-inside)
+	}
+	if th.T.Cycles() < 1_000_000 {
+		t.Fatal("host work not charged at all")
+	}
+}
+
+func TestChargeOutside(t *testing.T) {
+	p := testPlatform(t, 4<<20)
+	e, _ := p.NewEnclave()
+	th := enterThread(t, e)
+	th.ResetEnclaveCycles()
+	th.ChargeOutside(500_000)
+	if got := th.SyncEnclaveCycles(); got > 1000 {
+		t.Fatalf("ChargeOutside attributed %d cycles to the enclave", got)
+	}
+	if th.T.Cycles() < 500_000 {
+		t.Fatal("ChargeOutside lost the cycles")
+	}
+}
+
+func TestFaultTimeSplitsAcrossExit(t *testing.T) {
+	// A hardware fault's driver time happens outside; only the access
+	// itself is in-enclave.
+	p := testPlatform(t, 1<<20)
+	e, _ := p.NewEnclave()
+	th := enterThread(t, e)
+	addr := e.Alloc(4 << 20) // 4x PRM
+	buf := make([]byte, phys.PageSize)
+	for pg := 0; pg < (4<<20)/phys.PageSize; pg++ {
+		th.Write(addr+uint64(pg)*phys.PageSize, buf)
+	}
+	total := th.T.Cycles()
+	inside := th.SyncEnclaveCycles()
+	if inside >= total {
+		t.Fatalf("in-enclave %d >= total %d despite fault exits", inside, total)
+	}
+	// Most of a fault-bound workload's time is outside the enclave.
+	if float64(inside) > 0.6*float64(total) {
+		t.Fatalf("fault-bound run attributed %d of %d cycles to the enclave", inside, total)
+	}
+}
+
+func TestDriverQueueSerializesFaults(t *testing.T) {
+	// Two synchronized-epoch threads faulting concurrently must observe
+	// queueing: the driver's virtual-time server admits one fault at a
+	// time, so contended faults are recorded.
+	p := testPlatform(t, 1<<20)
+	e, _ := p.NewEnclave()
+	addr := e.Alloc(8 << 20)
+	buf := make([]byte, phys.PageSize)
+	th0 := enterThread(t, e)
+	for pg := 0; pg < (8<<20)/phys.PageSize; pg++ {
+		th0.Write(addr+uint64(pg)*phys.PageSize, buf)
+	}
+	p.Driver.ResetStats()
+	th0.T.Reset()
+
+	th1 := enterThread(t, e)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b := make([]byte, phys.PageSize)
+		for pg := 0; pg < 512; pg++ {
+			th1.Read(addr+uint64(pg)*phys.PageSize, b)
+		}
+	}()
+	b := make([]byte, phys.PageSize)
+	for pg := 512; pg < 1024; pg++ {
+		th0.Read(addr+uint64(pg)*phys.PageSize, b)
+	}
+	<-done
+	st := p.Driver.Stats()
+	if st.ContendedFault == 0 {
+		t.Fatal("concurrent faulting threads never queued on the driver")
+	}
+	if st.QueuedCycles == 0 {
+		t.Fatal("contended faults recorded no queueing delay")
+	}
+}
+
+func TestWriteStreamEquivalentToWrite(t *testing.T) {
+	p := testPlatform(t, 4<<20)
+	e, _ := p.NewEnclave()
+	th := enterThread(t, e)
+	addr := e.Alloc(64 << 10)
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	th.WriteStream(addr+123, data)
+	got := make([]byte, len(data))
+	th.Read(addr+123, got)
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatalf("WriteStream byte %d mismatch", i)
+		}
+	}
+	// Host-side streaming store too.
+	haddr := p.AllocHost(64 << 10)
+	th.WriteStream(haddr, data)
+	th.Read(haddr, got)
+	for i := range got {
+		if got[i] != data[i] {
+			t.Fatalf("host WriteStream byte %d mismatch", i)
+		}
+	}
+}

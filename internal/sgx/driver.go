@@ -1,0 +1,369 @@
+package sgx
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"eleos/internal/phys"
+	"eleos/internal/seal"
+)
+
+// DriverStats counts the driver-visible paging events. IPIs counts
+// individual interrupts delivered to cores (the unit Table 2 of the
+// paper reports), not shootdown rounds.
+type DriverStats struct {
+	Faults         uint64 // EPC page faults handled (incl. demand-zero)
+	DemandZero     uint64 // faults that materialized a never-touched page
+	PageIns        uint64 // ELDU: pages decrypted back from host memory
+	Evictions      uint64 // EWB: pages sealed out to host memory
+	IPIs           uint64 // shootdown IPIs delivered
+	Rounds         uint64 // background reclaim rounds
+	QueuedCycles   uint64 // virtual cycles faults spent queued on the driver
+	ContendedFault uint64 // faults that found the driver busy
+}
+
+// Driver simulates the (untrusted) Linux SGX kernel driver: it owns the
+// pool of usable PRM frames, splits it among enclaves, services EPC page
+// faults, and reclaims frames with a batched background swapper whose
+// evictions trigger TLB-shootdown IPIs on the cores currently running
+// the victim enclave. It also implements the Eleos extension: an ioctl
+// reporting the PRM share available to an enclave (§3.3), which the
+// untrusted runtime uses to balloon SUVM page caches.
+type Driver struct {
+	plat *Platform
+	// frames backs every usable PRM frame with real storage.
+	frames []byte
+
+	mu         sync.Mutex
+	freeFrames []int32
+	enclaves   map[int]*Enclave
+	evictBatch int
+	stats      DriverStats
+
+	// busyUntil serializes fault handling in *virtual* time: the driver
+	// is one kernel-side resource, so concurrent faults from different
+	// cores queue behind each other (the reason multi-threaded EPC
+	// paging scales poorly in the paper's Fig 7b/10/11 baselines).
+	// Meaningful whenever the participating threads' virtual clocks
+	// share an epoch, which every benchmark establishes by resetting
+	// all thread counters and the driver together.
+	busyUntil uint64
+}
+
+func newDriver(p *Platform, numFrames, evictBatch int) *Driver {
+	d := &Driver{
+		plat:       p,
+		frames:     make([]byte, numFrames*phys.PageSize),
+		freeFrames: make([]int32, 0, numFrames),
+		enclaves:   make(map[int]*Enclave),
+		evictBatch: evictBatch,
+	}
+	for i := numFrames - 1; i >= 0; i-- {
+		d.freeFrames = append(d.freeFrames, int32(i))
+	}
+	return d
+}
+
+// frameData returns the storage of one PRM frame.
+func (d *Driver) frameData(frame int32) []byte {
+	off := int(frame) * phys.PageSize
+	return d.frames[off : off+phys.PageSize]
+}
+
+// NumFrames returns the usable PRM size in frames.
+func (d *Driver) NumFrames() int { return len(d.frames) / phys.PageSize }
+
+// AvailableEPCBytes is the Eleos driver ioctl (§4.1): it reports the PRM
+// share available to one enclave under the driver's simple heuristic of
+// splitting usable PRM evenly among active enclaves.
+func (d *Driver) AvailableEPCBytes() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.enclaves)
+	if n == 0 {
+		n = 1
+	}
+	return uint64(d.NumFrames()/n) * phys.PageSize
+}
+
+// Stats returns a snapshot of the driver counters.
+func (d *Driver) Stats() DriverStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the driver counters and the virtual-time queue
+// (benchmark warm-up boundary; reset thread clocks at the same point).
+func (d *Driver) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = DriverStats{}
+	d.busyUntil = 0
+}
+
+func (d *Driver) enclaveCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.enclaves)
+}
+
+func (d *Driver) register(e *Enclave) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.enclaves[e.id] = e
+}
+
+// unregister tears an enclave down, returning its frames to the pool.
+func (d *Driver) unregister(e *Enclave) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.enclaves, e.id)
+	e.pagingMu.Lock()
+	for i := range e.pages {
+		p := &e.pages[i]
+		if p.state == pageResident {
+			d.freeFrames = append(d.freeFrames, p.frame)
+		}
+		p.state = pageAbsent
+	}
+	e.pagingMu.Unlock()
+}
+
+// quotaFrames is the per-enclave fair share under the even-split policy.
+// Must be called with d.mu held.
+func (d *Driver) quotaFrames() int {
+	n := len(d.enclaves)
+	if n == 0 {
+		n = 1
+	}
+	return d.NumFrames() / n
+}
+
+// fault services an EPC page fault for page idx of enclave e, raised by
+// thread th. The thread has already paid the exit round trip. write
+// indicates the faulting access type (the paged-in page starts dirty for
+// writes so hardware behaviour is conservative; SGX always writes back
+// on EWB anyway).
+func (d *Driver) fault(th *Thread, e *Enclave, idx uint64, write bool) {
+	d.mu.Lock()
+	e.pagingMu.Lock()
+
+	p := &e.pages[idx]
+	if p.state == pageResident {
+		// Another thread resolved it while we were acquiring locks;
+		// hardware would have replayed the access and hit.
+		e.pagingMu.Unlock()
+		d.mu.Unlock()
+		return
+	}
+
+	d.stats.Faults++
+	e.stats.bumpFaults()
+	// Queue behind the driver-lock critical section of faults in flight
+	// on other cores. Only the in-kernel bookkeeping serializes; the
+	// MEE crypto and data movement of EWB/ELDU proceed per-core, which
+	// is why the paper's baselines scale somewhat (2.7x at 4 threads for
+	// memcached) but far below linearly.
+	now := th.T.Cycles()
+	serveStart := now
+	if d.busyUntil > now {
+		th.T.Charge(d.busyUntil - now)
+		d.stats.QueuedCycles += d.busyUntil - now
+		d.stats.ContendedFault++
+		serveStart = d.busyUntil
+	}
+	d.busyUntil = serveStart + d.plat.Model.HWFaultDriver
+	th.T.Charge(d.plat.Model.HWFaultDriver)
+	th.T.Charge(d.plat.Model.HWFaultIndirect)
+
+	frame := d.takeFrameLocked(th, e)
+	data := d.frameData(frame)
+	switch p.state {
+	case pageAbsent:
+		// Demand-zero materialization (EAUG-style).
+		d.stats.DemandZero++
+		clear(data)
+	case pageEvicted:
+		// ELDU: fetch the sealed blob from untrusted memory, verify and
+		// decrypt it into the frame. The crypto cost is part of
+		// HWFaultDriver (the instruction's latency includes it), so the
+		// sealer is invoked with a nil thread; the work is still real.
+		ct := make([]byte, phys.PageSize+seal.Overhead)
+		d.plat.Host.ReadAt(p.blobAddr, ct[:phys.PageSize])
+		copy(ct[phys.PageSize:], p.tag[:])
+		pt, err := e.sealer.Open(nil, data[:0], ct, e.pageAAD(idx), p.nonce)
+		if err != nil {
+			panic(fmt.Sprintf("sgx: EPC page integrity failure for enclave %d page %d: %v", e.id, idx, err))
+		}
+		if len(pt) != phys.PageSize {
+			panic("sgx: sealed EPC page has wrong length")
+		}
+		d.plat.FreeHost(p.blobAddr)
+		p.blobAddr = 0
+		d.stats.PageIns++
+	}
+	p.state = pageResident
+	p.frame = frame
+	p.accessed.Store(true)
+	p.dirty.Store(write)
+	e.resident = append(e.resident, uint32(idx))
+	e.pagingMu.Unlock()
+	d.mu.Unlock()
+}
+
+// takeFrameLocked hands out a free frame, running a reclaim round first
+// if the pool is empty. Called with d.mu held (and possibly e.pagingMu —
+// reclaim handles self-eviction re-entrantly via the caller's lock).
+func (d *Driver) takeFrameLocked(th *Thread, faulting *Enclave) int32 {
+	if len(d.freeFrames) == 0 {
+		d.reclaimLocked(th, faulting)
+	}
+	if len(d.freeFrames) == 0 {
+		panic("sgx: PRM exhausted and reclaim found no victim (all pages pinned?)")
+	}
+	frame := d.freeFrames[len(d.freeFrames)-1]
+	d.freeFrames = d.freeFrames[:len(d.freeFrames)-1]
+	return frame
+}
+
+// reclaimLocked performs one background-swapper round: it evicts up to
+// evictBatch pages from the enclave most over its PRM share, sealing
+// them to host memory, and posts shootdown IPIs to the cores currently
+// executing that enclave. Direct eviction costs are charged to th — the
+// thread whose fault triggered the reclaim, which is also the CPU the
+// swapper work runs on.
+//
+// Called with d.mu held; the faulting enclave's pagingMu may be held, so
+// victim lock acquisition tracks whether the victim is the faulter.
+func (d *Driver) reclaimLocked(th *Thread, faulting *Enclave) {
+	victim := d.pickVictimEnclaveLocked(faulting)
+	if victim == nil {
+		return
+	}
+	d.stats.Rounds++
+	if victim != faulting {
+		victim.pagingMu.Lock()
+		defer victim.pagingMu.Unlock()
+	}
+	evicted := 0
+	for evicted < d.evictBatch {
+		if !d.evictOneLocked(th, victim) {
+			break
+		}
+		evicted++
+	}
+	if evicted == 0 {
+		return
+	}
+	// One shootdown round: the driver's swapper runs asynchronously with
+	// the enclave, so it IPIs every core in the victim enclave's cpumask
+	// (the Linux driver's ETRACK bookkeeping is exactly this
+	// conservative — the paper observes IPIs even for single-threaded
+	// enclaves, §6.1.2 fn.3). Delivery is deferred to each receiver's
+	// next enclave memory access, where it AEXes and flushes its TLB.
+	for _, vt := range victim.threads {
+		vt.pendingIPI.Add(1)
+		d.stats.IPIs++
+		victim.stats.bumpIPIs()
+	}
+}
+
+// pickVictimEnclaveLocked selects the enclave to reclaim from: the one
+// most over its fair PRM share, preferring enclaves with unpinned
+// resident pages. Called with d.mu held.
+func (d *Driver) pickVictimEnclaveLocked(faulting *Enclave) *Enclave {
+	quota := d.quotaFrames()
+	var best *Enclave
+	bestScore := math.MinInt
+	for _, e := range d.enclaves {
+		r := e.residentCount()
+		if r == 0 {
+			continue
+		}
+		score := r - quota
+		if score > bestScore {
+			best, bestScore = e, score
+		}
+	}
+	if best == nil {
+		best = faulting
+	}
+	return best
+}
+
+// evictOneLocked evicts one page from enclave v using a clock sweep with
+// two passes: the first skips pinned pages (Eleos EPC++ frames under a
+// correctly ballooned configuration), the second takes anything — which
+// is precisely what thrashes a misconfigured EPC++ in Fig 9. Called with
+// d.mu and v.pagingMu held. Returns false when nothing is evictable.
+func (d *Driver) evictOneLocked(th *Thread, v *Enclave) bool {
+	for pass := 0; pass < 2; pass++ {
+		// Bound the sweep: one full circuit for the accessed-bit clock,
+		// per pass.
+		for sweep := 0; sweep < len(v.resident)+1 && len(v.resident) > 0; sweep++ {
+			if v.clockHand >= len(v.resident) {
+				v.clockHand = 0
+			}
+			idx := v.resident[v.clockHand]
+			p := &v.pages[idx]
+			if p.state != pageResident {
+				// Stale entry (page was freed); drop it in place.
+				v.resident[v.clockHand] = v.resident[len(v.resident)-1]
+				v.resident = v.resident[:len(v.resident)-1]
+				continue
+			}
+			if pass == 0 && p.pinned {
+				v.clockHand++
+				continue
+			}
+			if p.accessed.Swap(false) {
+				v.clockHand++
+				continue
+			}
+			// Victim found: seal (EWB always writes back, even clean
+			// pages — the optimization SUVM adds is impossible here).
+			d.sealOutLocked(th, v, uint64(idx), p)
+			v.resident[v.clockHand] = v.resident[len(v.resident)-1]
+			v.resident = v.resident[:len(v.resident)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// sealOutLocked performs the EWB: encrypt the frame into a fresh host
+// blob, record nonce+tag in driver metadata (the hardware keeps these in
+// version arrays inside PRM), and release the frame.
+func (d *Driver) sealOutLocked(th *Thread, v *Enclave, idx uint64, p *page) {
+	th.T.Charge(d.plat.Model.HWFaultEvict)
+	data := d.frameData(p.frame)
+	ct := make([]byte, 0, phys.PageSize+seal.Overhead)
+	nonce, ct := v.sealer.Seal(nil, ct, data, v.pageAAD(idx))
+	blobAddr := d.plat.AllocHost(phys.PageSize)
+	d.plat.Host.WriteAt(blobAddr, ct[:phys.PageSize])
+	copy(p.tag[:], ct[phys.PageSize:])
+	p.nonce = nonce
+	p.blobAddr = blobAddr
+	p.state = pageEvicted
+	d.freeFrames = append(d.freeFrames, p.frame)
+	p.frame = -1
+	d.stats.Evictions++
+	v.stats.bumpEvictions()
+}
+
+// freePagesLocked returns the frames of a released page range to the
+// pool. Called by Enclave.FreePages with both locks held.
+func (d *Driver) freePagesLocked(e *Enclave, first, n uint64) {
+	for i := first; i < first+n; i++ {
+		p := &e.pages[i]
+		switch p.state {
+		case pageResident:
+			d.freeFrames = append(d.freeFrames, p.frame)
+		case pageEvicted:
+			d.plat.FreeHost(p.blobAddr)
+		}
+		*p = page{frame: -1}
+	}
+}

@@ -1,0 +1,139 @@
+// Package sgx simulates the SGX platform the Eleos paper runs on: a
+// Skylake machine with 128 MiB of processor reserved memory (PRM), an
+// enclave page cache (EPC) demand-paged by an untrusted driver, enclave
+// entry/exit instructions with their direct and indirect costs, TLB
+// flushes on every exit, and shootdown IPIs on hardware page eviction.
+//
+// The simulation is event-faithful rather than timing-sampled: every
+// exit, page fault, IPI, TLB flush and cache-line touch actually happens
+// as a discrete event and is charged to the virtual cycle counter of the
+// thread that incurs it. Evicted EPC pages are genuinely AES-GCM sealed
+// into untrusted memory and verified on page-in, so the security
+// semantics (privacy, integrity, freshness) are testable, not asserted.
+package sgx
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"eleos/internal/cache"
+	"eleos/internal/cycles"
+	"eleos/internal/hostmem"
+	"eleos/internal/phys"
+)
+
+// Config describes the simulated machine.
+type Config struct {
+	// Model is the cost model; nil selects cycles.DefaultModel.
+	Model *cycles.Model
+	// UsablePRMBytes is the PRM available to applications after the
+	// hardware reserves space for enclave page tables and metadata.
+	// Defaults to 93 MiB, the paper's measured figure.
+	UsablePRMBytes uint64
+	// HostArenaBytes sizes the untrusted memory arena (power of two;
+	// default 16 GiB of address space, materialized sparsely).
+	HostArenaBytes uint64
+	// LLC optionally overrides the cache geometry.
+	LLC cache.Config
+	// EvictBatch is the number of pages the driver's background swapper
+	// reclaims per round when the free pool runs low. The Linux SGX
+	// driver swaps in batches; smaller batches mean more IPI rounds.
+	EvictBatch int
+}
+
+// Platform is one simulated machine: cost model, shared LLC, untrusted
+// DRAM, and the SGX driver that owns the EPC.
+type Platform struct {
+	Model  *cycles.Model
+	LLC    *cache.LLC
+	Host   *hostmem.Arena
+	Driver *Driver
+
+	nextThread atomic.Int64
+	nextEncl   atomic.Int64
+}
+
+// NewPlatform builds a machine from cfg.
+func NewPlatform(cfg Config) (*Platform, error) {
+	if cfg.Model == nil {
+		cfg.Model = cycles.DefaultModel()
+	}
+	if cfg.UsablePRMBytes == 0 {
+		cfg.UsablePRMBytes = 93 << 20
+	}
+	if cfg.UsablePRMBytes > phys.EPCLimit {
+		return nil, fmt.Errorf("sgx: usable PRM %d exceeds PRM size %d", cfg.UsablePRMBytes, phys.EPCLimit)
+	}
+	if cfg.HostArenaBytes == 0 {
+		cfg.HostArenaBytes = 16 << 30
+	}
+	if cfg.EvictBatch == 0 {
+		cfg.EvictBatch = 2
+	}
+	llcCfg := cfg.LLC
+	if llcCfg.EPCLimit == 0 {
+		llcCfg.EPCLimit = phys.EPCLimit
+	}
+	host, err := hostmem.NewArena(cfg.HostArenaBytes)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		Model: cfg.Model,
+		LLC:   cache.New(cfg.Model, llcCfg),
+		Host:  host,
+	}
+	p.Driver = newDriver(p, int(cfg.UsablePRMBytes/phys.PageSize), cfg.EvictBatch)
+	return p, nil
+}
+
+// MustNewPlatform is NewPlatform for tests and examples with fixed,
+// known-good configurations.
+func MustNewPlatform(cfg Config) *Platform {
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewHostThread creates a simulated hardware thread running untrusted
+// code only (the paper's "untrusted execution" baselines, and the Eleos
+// RPC workers).
+func (p *Platform) NewHostThread(cos cache.CoS) *Thread {
+	return newThread(p, nil, cos)
+}
+
+// Stats aggregates platform-wide counters.
+type Stats struct {
+	Enclaves int
+	Driver   DriverStats
+	LLC      cache.Stats
+}
+
+// Stats returns a snapshot of platform counters.
+func (p *Platform) Stats() Stats {
+	return Stats{
+		Enclaves: p.Driver.enclaveCount(),
+		Driver:   p.Driver.Stats(),
+		LLC:      p.LLC.Stats(),
+	}
+}
+
+// AllocHost reserves untrusted memory, panicking on exhaustion; used by
+// infrastructure that cannot meaningfully recover (the arena spans tens
+// of gigabytes, so exhaustion indicates a programming error).
+func (p *Platform) AllocHost(n uint64) uint64 {
+	addr, err := p.Host.Alloc(n)
+	if err != nil {
+		panic(fmt.Sprintf("sgx: host arena exhausted allocating %d bytes: %v", n, err))
+	}
+	return addr
+}
+
+// FreeHost releases memory from AllocHost.
+func (p *Platform) FreeHost(addr uint64) {
+	if err := p.Host.Free(addr); err != nil {
+		panic(fmt.Sprintf("sgx: bad host free: %v", err))
+	}
+}

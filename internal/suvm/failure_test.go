@@ -1,0 +1,187 @@
+package suvm
+
+import (
+	"errors"
+	"testing"
+)
+
+// Failure-path coverage: the ways a SUVM heap can be driven into a
+// corner, and the behaviour it promises there.
+
+func TestShrinkBlockedByPinnedFrames(t *testing.T) {
+	e := newEnv(t, Config{PageCacheBytes: 64 << 10, BackingBytes: 16 << 20}) // 16 frames
+	// Pin 12 frames with linked spointers.
+	var pinned []*SPtr
+	for i := 0; i < 12; i++ {
+		p, err := e.h.Malloc(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Write(e.th, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, p)
+	}
+	// Shrinking to 8 frames cannot succeed while 12 are pinned.
+	if err := e.h.ResizeTo(e.th, 8*4096); err == nil {
+		t.Fatal("shrink below the pinned set succeeded")
+	}
+	// After unlinking, the shrink goes through.
+	for _, p := range pinned {
+		p.Unlink(e.th)
+	}
+	if err := e.h.ResizeTo(e.th, 8*4096); err != nil {
+		t.Fatalf("shrink after unpin: %v", err)
+	}
+	if got := e.h.ActiveFrames(); got != 8 {
+		t.Fatalf("ActiveFrames=%d", got)
+	}
+}
+
+func TestEPCPPExhaustionPanics(t *testing.T) {
+	// Pinning every frame and then faulting has no legal outcome; the
+	// heap reports it loudly rather than deadlocking.
+	e := newEnv(t, Config{PageCacheBytes: 16 << 10, BackingBytes: 16 << 20}) // 4 frames
+	var ptrs []*SPtr
+	for i := 0; i < 4; i++ {
+		p, _ := e.h.Malloc(4096)
+		_ = p.Write(e.th, []byte{1})
+		ptrs = append(ptrs, p)
+	}
+	extra, _ := e.h.Malloc(4096)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fault with every frame pinned did not panic")
+		}
+		for _, p := range ptrs {
+			p.Unlink(e.th)
+		}
+	}()
+	_ = extra.Write(e.th, []byte{2})
+}
+
+func TestBackingStoreExhaustion(t *testing.T) {
+	e := newEnv(t, Config{PageCacheBytes: 64 << 10, BackingBytes: 1 << 20})
+	// The cached half is 512KiB; a 1MiB allocation cannot fit.
+	if _, err := e.h.Malloc(1 << 20); !errors.Is(err, ErrBackingFull) {
+		t.Fatalf("oversized malloc error = %v", err)
+	}
+	// Exhaust with small allocations, then verify recovery after free.
+	var ok []*SPtr
+	for {
+		p, err := e.h.Malloc(64 << 10)
+		if err != nil {
+			break
+		}
+		ok = append(ok, p)
+	}
+	if len(ok) == 0 {
+		t.Fatal("no allocations succeeded")
+	}
+	if err := e.h.Free(e.th, ok[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.h.Malloc(64 << 10); err != nil {
+		t.Fatalf("allocation after free failed: %v", err)
+	}
+}
+
+func TestZeroAndInvalidConfigs(t *testing.T) {
+	e := newEnv(t, smallCfg())
+	if _, err := e.h.Malloc(0); err == nil {
+		t.Fatal("zero-byte malloc accepted")
+	}
+	if _, err := e.h.MallocDirect(0); err == nil {
+		t.Fatal("zero-byte direct malloc accepted")
+	}
+	bad := []Config{
+		{},                     // no page cache
+		{PageCacheBytes: 4096}, // fewer than 4 frames
+		{PageCacheBytes: 1 << 20, PageSize: 3000},                    // not a power of two
+		{PageCacheBytes: 1 << 20, PageSize: 4096, SubPageSize: 3000}, // does not divide
+		{PageCacheBytes: 1 << 20, BackingBytes: 3 << 20},             // not a power of two
+	}
+	for i, cfg := range bad {
+		if _, err := New(e.encl, e.th, cfg); err == nil {
+			t.Fatalf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestCrossHeapFreeRejected(t *testing.T) {
+	e1 := newEnv(t, smallCfg())
+	e2 := newEnv(t, smallCfg())
+	p, _ := e1.h.Malloc(4096)
+	if err := e2.h.Free(e2.th, p); err == nil {
+		t.Fatal("freeing another heap's spointer succeeded")
+	}
+	if err := e1.h.Free(e1.th, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyAllocationsChurn(t *testing.T) {
+	// Allocator stress: interleaved malloc/free of mixed sizes must
+	// neither leak backing space nor corrupt neighbours.
+	e := newEnv(t, Config{PageCacheBytes: 256 << 10, BackingBytes: 32 << 20})
+	type alloc struct {
+		p     *SPtr
+		stamp byte
+	}
+	var live []alloc
+	rng := newXorshift(99)
+	for i := 0; i < 600; i++ {
+		if len(live) > 0 && rng()%3 == 0 {
+			k := int(rng() % uint64(len(live)))
+			a := live[k]
+			n := a.p.Size()
+			if n > 32 {
+				n = 32
+			}
+			b := make([]byte, n)
+			if err := a.p.ReadAt(e.th, 0, b); err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range b {
+				if x != a.stamp {
+					t.Fatalf("allocation corrupted: got %d want %d", x, a.stamp)
+				}
+			}
+			if err := e.h.Free(e.th, a.p); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		size := uint64(16 << (rng() % 10)) // 16B..8KiB
+		p, err := e.h.Malloc(size)
+		if err != nil {
+			t.Fatalf("malloc %d at step %d: %v", size, i, err)
+		}
+		stamp := byte(rng())
+		n := size
+		if n > 32 {
+			n = 32
+		}
+		if err := p.MemsetAt(e.th, 0, n, stamp); err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, alloc{p: p, stamp: stamp})
+	}
+	for _, a := range live {
+		if err := e.h.Free(e.th, a.p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func newXorshift(seed uint64) func() uint64 {
+	x := seed
+	return func() uint64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return x
+	}
+}

@@ -1,0 +1,306 @@
+package suvm
+
+import (
+	"fmt"
+
+	"eleos/internal/seal"
+	"eleos/internal/sgx"
+)
+
+// acquire returns the EPC++ frame caching bsPage with its reference
+// count raised (pinning it against eviction), faulting the page in if it
+// is not resident. This is the unlinked-spointer path: resident hits are
+// the paper's minor faults, misses its major faults. The caller must
+// pair it with release.
+func (h *Heap) acquire(th *sgx.Thread, bsPage uint64) int32 {
+	h.lockCost(th)
+	h.touchIPT(th, bsPage)
+	sh := h.resident.shard(bsPage)
+	sh.mu.Lock()
+	if f, ok := sh.m[bsPage]; ok {
+		fm := &h.frames[f]
+		fm.refcnt.Add(1)
+		fm.accessed.Store(true)
+		sh.mu.Unlock()
+		h.stats.minorFaults.Add(1)
+		return f
+	}
+	sh.mu.Unlock()
+	return h.majorFault(th, bsPage)
+}
+
+// release drops the pin taken by acquire, propagating the access's dirty
+// state into the page table (the paper copies the spointer dirty bit on
+// unlink, §3.2.4).
+func (h *Heap) release(th *sgx.Thread, f int32, dirty bool) {
+	fm := &h.frames[f]
+	sh := h.resident.shard(fm.bsPage)
+	h.lockCost(th)
+	sh.mu.Lock()
+	if fm.refcnt.Add(-1) < 0 {
+		sh.mu.Unlock()
+		panic("suvm: frame reference count underflow")
+	}
+	if dirty {
+		fm.dirty.Store(true)
+	}
+	sh.mu.Unlock()
+}
+
+// majorFault pages bsPage into EPC++ — entirely inside the enclave: no
+// exit, no TLB flush, no IPIs. Serialized by faultMu, like the paper's
+// prototype serializes page-in on the faulting bucket; concurrent
+// faulters on the same page link to the first winner's frame.
+func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) int32 {
+	h.lockCost(th)
+	h.faultMu.Lock()
+	// Recheck under the slow-path lock: another thread may have paged
+	// this page in while we were acquiring it.
+	sh := h.resident.shard(bsPage)
+	sh.mu.Lock()
+	if f, ok := sh.m[bsPage]; ok {
+		fm := &h.frames[f]
+		fm.refcnt.Add(1)
+		fm.accessed.Store(true)
+		sh.mu.Unlock()
+		h.faultMu.Unlock()
+		h.stats.minorFaults.Add(1)
+		return f
+	}
+	sh.mu.Unlock()
+
+	c0 := th.T.Cycles()
+	f := h.takeFrameLocked(th)
+	h.pageIn(th, bsPage, f)
+	h.stats.faultCycles.Add(th.T.Cycles() - c0)
+	fm := &h.frames[f]
+	fm.bsPage = bsPage
+	fm.refcnt.Store(1)
+	fm.accessed.Store(true)
+	fm.dirty.Store(false)
+
+	sh.mu.Lock()
+	sh.m[bsPage] = f
+	sh.mu.Unlock()
+	h.faultMu.Unlock()
+	h.stats.majorFaults.Add(1)
+	return f
+}
+
+// pageIn fills frame f with the contents of bsPage: decrypt-and-verify
+// from the backing store if a sealed copy exists, zero-fill otherwise
+// (fresh allocation). Called with faultMu held; the frame is not yet
+// published in the resident table.
+func (h *Heap) pageIn(th *sgx.Thread, bsPage uint64, f int32) {
+	h.lockCost(th)
+	h.touchMeta(th, bsPage, false)
+	ms := h.meta.shard(bsPage)
+	ms.mu.Lock()
+	m := ms.get(bsPage, false)
+	var nonce seal.Nonce
+	var tag [seal.TagSize]byte
+	present := m != nil && m.present
+	if present {
+		nonce, tag = m.nonce, m.tag
+	}
+	ms.mu.Unlock()
+
+	if !present {
+		th.WriteStream(h.frameVaddr(f), zeroBuf[:h.pageSize])
+		h.stats.pageIns.Add(1)
+		return
+	}
+	addr, sealer := h.resolve(bsPage)
+	ct := h.getScratch()
+	pt := h.getScratch()
+	defer h.putScratch(ct)
+	defer h.putScratch(pt)
+	th.Read(addr, (*ct)[:h.pageSize])
+	copy((*ct)[h.pageSize:], tag[:])
+	plain, err := sealer.Open(th.T, (*pt)[:0], (*ct)[:h.pageSize+seal.Overhead], seal.AddrAAD(addr), nonce)
+	if err != nil {
+		panic(fmt.Sprintf("suvm: backing-store page %d failed integrity verification: %v", bsPage, err))
+	}
+	th.WriteStream(h.frameVaddr(f), plain)
+	h.stats.pageIns.Add(1)
+}
+
+// takeFrameLocked pops a free frame, evicting a victim first when the
+// pool is dry. Called with faultMu held.
+func (h *Heap) takeFrameLocked(th *sgx.Thread) int32 {
+	h.freeMu.Lock()
+	if n := len(h.freeFrames); n > 0 {
+		f := h.freeFrames[n-1]
+		h.freeFrames = h.freeFrames[:n-1]
+		h.freeMu.Unlock()
+		return f
+	}
+	h.freeMu.Unlock()
+	for attempt := 0; attempt < 3; attempt++ {
+		v := h.pickVictimLocked()
+		if v < 0 {
+			break
+		}
+		if h.evictFrameLocked(th, v) {
+			return v
+		}
+	}
+	panic("suvm: EPC++ exhausted — every frame is pinned by a linked spointer")
+}
+
+// pickVictimLocked selects an eviction victim under the configured
+// policy. Returns -1 when no frame is evictable. Reference counts are
+// read racily here; evictFrameLocked re-verifies under the shard lock.
+func (h *Heap) pickVictimLocked() int32 {
+	switch h.cfg.Policy {
+	case PolicyFIFO:
+		for i := 0; i < h.activeFrames; i++ {
+			h.fifoHand = (h.fifoHand + 1) % h.activeFrames
+			fm := &h.frames[h.fifoHand]
+			if !fm.disabled && fm.bsPage != noBSPage && fm.refcnt.Load() == 0 {
+				return int32(h.fifoHand)
+			}
+		}
+	case PolicyRandom:
+		for i := 0; i < 4*h.activeFrames; i++ {
+			h.rng ^= h.rng << 13
+			h.rng ^= h.rng >> 7
+			h.rng ^= h.rng << 17
+			f := int(h.rng % uint64(h.activeFrames))
+			fm := &h.frames[f]
+			if !fm.disabled && fm.bsPage != noBSPage && fm.refcnt.Load() == 0 {
+				return int32(f)
+			}
+		}
+	default: // PolicyClock: second chance via the accessed bit.
+		for i := 0; i < 2*h.activeFrames; i++ {
+			h.clockHand = (h.clockHand + 1) % h.activeFrames
+			fm := &h.frames[h.clockHand]
+			if fm.disabled || fm.bsPage == noBSPage || fm.refcnt.Load() != 0 {
+				continue
+			}
+			if fm.accessed.Swap(false) {
+				continue
+			}
+			return int32(h.clockHand)
+		}
+		// Second chance exhausted: take the first unpinned frame.
+		for i := 0; i < h.activeFrames; i++ {
+			h.clockHand = (h.clockHand + 1) % h.activeFrames
+			fm := &h.frames[h.clockHand]
+			if !fm.disabled && fm.bsPage != noBSPage && fm.refcnt.Load() == 0 {
+				return int32(h.clockHand)
+			}
+		}
+	}
+	return -1
+}
+
+// evictFrameLocked evicts frame f from EPC++: unmap it, then write the
+// page back to the sealed backing store — unless it is clean and a valid
+// sealed copy already exists, in which case it is simply dropped (the
+// write-back avoidance optimization of §3.2.4, impossible under SGX's
+// EWB). Returns false if the frame became pinned since victim selection.
+// Called with faultMu held.
+func (h *Heap) evictFrameLocked(th *sgx.Thread, f int32) bool {
+	fm := &h.frames[f]
+	bsPage := fm.bsPage
+	sh := h.resident.shard(bsPage)
+	h.lockCost(th)
+	sh.mu.Lock()
+	if fm.refcnt.Load() != 0 {
+		sh.mu.Unlock()
+		return false
+	}
+	delete(sh.m, bsPage)
+	dirty := fm.dirty.Load()
+	fm.dirty.Store(false)
+	fm.bsPage = noBSPage
+	sh.mu.Unlock()
+
+	// From here the page is unmapped; a concurrent fault on bsPage will
+	// block on faultMu (held by us) and then page in from the backing
+	// store, so the write-back below must complete first — it does,
+	// synchronously.
+	if dirty || h.cfg.WriteBackClean {
+		h.writeBack(th, bsPage, f)
+	} else {
+		h.stats.cleanDrops.Add(1)
+	}
+	h.stats.evictions.Add(1)
+	return true
+}
+
+// writeBack seals the frame contents with a fresh nonce and stores the
+// ciphertext at the page's backing-store address, recording nonce and
+// MAC in the crypto-metadata table inside the enclave.
+func (h *Heap) writeBack(th *sgx.Thread, bsPage uint64, f int32) {
+	addr, sealer := h.resolve(bsPage)
+	pt := h.getScratch()
+	ct := h.getScratch()
+	defer h.putScratch(pt)
+	defer h.putScratch(ct)
+	th.Read(h.frameVaddr(f), (*pt)[:h.pageSize])
+	nonce, sealed := sealer.Seal(th.T, (*ct)[:0], (*pt)[:h.pageSize], seal.AddrAAD(addr))
+	th.Write(addr, sealed[:h.pageSize])
+
+	h.lockCost(th)
+	h.touchMeta(th, bsPage, true)
+	ms := h.meta.shard(bsPage)
+	ms.mu.Lock()
+	m := ms.get(bsPage, true)
+	m.present = true
+	m.nonce = nonce
+	copy(m.tag[:], sealed[h.pageSize:])
+	ms.mu.Unlock()
+	h.stats.writeBacks.Add(1)
+}
+
+// access is the positioned, stays-unlinked data path used by containers
+// (and by spointer accesses spanning a page boundary): each touched page
+// is transiently pinned, copied through, and released.
+func (h *Heap) access(th *sgx.Thread, addr uint64, buf []byte, write bool) {
+	for len(buf) > 0 {
+		bsPage := h.bsPageOf(addr)
+		pageOff := addr & (h.pageSize - 1)
+		n := int(h.pageSize - pageOff)
+		if n > len(buf) {
+			n = len(buf)
+		}
+		f := h.acquire(th, bsPage)
+		if write {
+			th.Write(h.frameVaddr(f)+pageOff, buf[:n])
+		} else {
+			th.Read(h.frameVaddr(f)+pageOff, buf[:n])
+		}
+		h.release(th, f, write)
+		addr += uint64(n)
+		buf = buf[n:]
+	}
+}
+
+// zeroBuf backs zero-fill page-ins for every supported page size.
+var zeroBuf = make([]byte, 64<<10)
+
+// CorruptBacking flips one bit of the sealed blob behind the given
+// backing-store address. Test hook demonstrating that SUVM integrity
+// protection is real: the next page-in panics.
+func (h *Heap) CorruptBacking(p *SPtr, off uint64) {
+	pageAddr, _ := h.resolve(h.bsPageOf(p.base + off))
+	addr := pageAddr + ((p.base + off) & (h.pageSize - 1))
+	var b [1]byte
+	h.plat.Host.ReadAt(addr, b[:])
+	b[0] ^= 0x80
+	h.plat.Host.WriteAt(addr, b[:])
+}
+
+// Resident reports whether the page containing offset off of allocation
+// p is currently cached in EPC++ (test and harness hook).
+func (h *Heap) Resident(p *SPtr, off uint64) bool {
+	bsPage := h.bsPageOf(p.base + off)
+	sh := h.resident.shard(bsPage)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.m[bsPage]
+	return ok
+}

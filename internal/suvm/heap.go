@@ -1,0 +1,398 @@
+// Package suvm implements Secure User-managed Virtual Memory — the core
+// contribution of the Eleos paper (§3.2). SUVM is an additional level of
+// virtual memory managed entirely inside the enclave: a page cache
+// (EPC++) of pinned EPC pages, its own page tables (an inverse table
+// mapping backing-store pages to EPC++ frames, and a crypto-metadata
+// table holding the nonce and MAC of every sealed page), and an
+// encrypted backing store in untrusted host memory. Accesses go through
+// spointers, which perform software address translation and cache the
+// translated frame so the page-table lookup happens once per page.
+//
+// A page fault — an access to a page not resident in EPC++ — is handled
+// in software inside the enclave: no enclave exit, no TLB flush, no
+// shootdown IPIs, no untrusted driver. Pages evicted to the backing
+// store are AES-GCM sealed with a fresh nonce and verified (integrity +
+// freshness) on the way back in, matching the guarantees of SGX's own
+// EWB/ELDU paging.
+package suvm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"eleos/internal/cycles"
+	"eleos/internal/hostmem"
+	"eleos/internal/seal"
+	"eleos/internal/sgx"
+)
+
+// Allocation and configuration errors.
+var (
+	ErrOutOfRange  = errors.New("suvm: access outside allocation bounds")
+	ErrBadConfig   = errors.New("suvm: invalid configuration")
+	ErrCorrupt     = seal.ErrCorrupt
+	ErrNotDirect   = errors.New("suvm: direct access on a page-cached allocation")
+	ErrDoubleFree  = errors.New("suvm: free of unallocated spointer")
+	ErrBackingFull = errors.New("suvm: backing store exhausted")
+)
+
+// EvictionPolicy selects victims in EPC++. Exposing it is one of the
+// points of SUVM: the application controls the eviction policy (§3.2.4).
+type EvictionPolicy int
+
+// Available eviction policies.
+const (
+	PolicyClock EvictionPolicy = iota // second-chance clock (default)
+	PolicyFIFO
+	PolicyRandom
+)
+
+func (p EvictionPolicy) String() string {
+	switch p {
+	case PolicyClock:
+		return "clock"
+	case PolicyFIFO:
+		return "fifo"
+	case PolicyRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config tunes a SUVM heap. The paper's "low-level tuning interface for
+// expert runtime developers" corresponds to the non-default fields.
+type Config struct {
+	// PageCacheBytes is the EPC++ capacity. Required. The paper's rule
+	// of thumb: size it below the enclave's PRM share so EPC++ frames
+	// are never evicted by the SGX driver (see Fig 9 for the failure
+	// mode when this is violated).
+	PageCacheBytes uint64
+
+	// PageSize is the EPC++ page size (power of two, 512..64 KiB;
+	// default 4096). Configured at heap creation, as in the paper.
+	PageSize int
+
+	// SubPageSize is the granularity of direct backing-store access
+	// (default 1024, the paper's configuration). Must divide PageSize.
+	SubPageSize int
+
+	// BackingBytes sizes the encrypted backing store reserved in host
+	// memory (default 4 GiB; storage materializes lazily).
+	BackingBytes uint64
+
+	// Policy selects the eviction policy (default PolicyClock).
+	Policy EvictionPolicy
+
+	// WriteBackClean disables the clean-page optimization, forcing
+	// every evicted page to be re-sealed and written back the way SGX's
+	// EWB must (ablation knob; default false = optimization on).
+	WriteBackClean bool
+
+	// RandomSeed seeds PolicyRandom (default 1).
+	RandomSeed uint64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.PageCacheBytes == 0 {
+		return fmt.Errorf("%w: PageCacheBytes is required", ErrBadConfig)
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.PageSize < 512 || c.PageSize > 64<<10 || c.PageSize&(c.PageSize-1) != 0 {
+		return fmt.Errorf("%w: page size %d", ErrBadConfig, c.PageSize)
+	}
+	if c.SubPageSize == 0 {
+		c.SubPageSize = 1024
+		if c.SubPageSize > c.PageSize {
+			c.SubPageSize = c.PageSize
+		}
+	}
+	if c.SubPageSize <= 0 || c.PageSize%c.SubPageSize != 0 {
+		return fmt.Errorf("%w: sub-page size %d does not divide page size %d", ErrBadConfig, c.SubPageSize, c.PageSize)
+	}
+	if c.BackingBytes == 0 {
+		c.BackingBytes = 4 << 30
+	}
+	if c.BackingBytes&(c.BackingBytes-1) != 0 {
+		return fmt.Errorf("%w: BackingBytes must be a power of two", ErrBadConfig)
+	}
+	if c.RandomSeed == 0 {
+		c.RandomSeed = 1
+	}
+	return nil
+}
+
+// Heap is one SUVM instance, owned by one enclave. All methods taking a
+// *sgx.Thread must be called with a thread of that enclave, inside the
+// enclave. A Heap is safe for concurrent use by the enclave's threads.
+type Heap struct {
+	encl  *sgx.Enclave
+	plat  *sgx.Platform
+	model *cycles.Model
+	seal  *seal.Sealer
+	cfg   Config
+
+	pageSize  uint64
+	pageShift uint
+	subSize   uint64
+	subsPer   int
+
+	// Backing store: one dedicated host-memory region split into a
+	// page-cached half and a direct-access half, each with its own
+	// buddy allocator so the two sealing granularities never share a
+	// page (§3.2.4: the prototype cannot mix modes within a page).
+	bsBase     uint64
+	bsSize     uint64
+	allocMu    sync.Mutex
+	cachedBS   *hostmem.Buddy
+	directBS   *hostmem.Buddy
+	allocs     map[uint64]allocInfo
+	directBase uint64
+
+	// EPC++: maxFrames pinned enclave pages; activeFrames of them are
+	// currently usable (ballooning shrinks/grows this).
+	frameBase    uint64
+	frames       []frameMeta
+	activeFrames int
+
+	freeMu     sync.Mutex
+	freeFrames []int32
+
+	// faultMu serializes the paging slow path (major faults, eviction,
+	// resize); the linked data path never takes it.
+	faultMu   sync.Mutex
+	clockHand int
+	fifoHand  int
+	rng       uint64
+
+	resident *residentTable
+	meta     *metaTable
+
+	// Mounted inter-enclave segments (§8's proposed extension): each
+	// occupies a range of pseudo backing-store page numbers above
+	// segPageBase, resolved to its own host region and sealing key.
+	segMu    sync.Mutex
+	segs     []*mountedSeg
+	nextSegP uint64
+
+	// Simulated in-EPC residence of the page tables: the inverse table
+	// lives in a fixed enclave region touched on every lookup; the
+	// crypto-metadata table grows with the backing store in chunked
+	// enclave regions, so huge working sets push it out of PRM — the
+	// effect that bends Fig 7a beyond 1 GiB.
+	iptBase  uint64
+	iptSlots uint64
+	metaMu   sync.Mutex
+	metaBase map[uint64]uint64 // chunk index -> enclave vaddr
+
+	scratch sync.Pool // page-size byte buffers
+
+	stats Stats
+}
+
+type allocInfo struct {
+	size   uint64
+	direct bool
+}
+
+// New creates a SUVM heap inside encl. setup must be a thread of the
+// enclave, currently entered; it pays the (one-time) cost of
+// materializing and pinning the EPC++ frame pool.
+func New(encl *sgx.Enclave, setup *sgx.Thread, cfg Config) (*Heap, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	if setup.Enclave() != encl {
+		return nil, fmt.Errorf("%w: setup thread belongs to a different enclave", ErrBadConfig)
+	}
+	h := &Heap{
+		encl:     encl,
+		plat:     encl.Platform(),
+		model:    encl.Platform().Model,
+		cfg:      cfg,
+		pageSize: uint64(cfg.PageSize),
+		subSize:  uint64(cfg.SubPageSize),
+		subsPer:  cfg.PageSize / cfg.SubPageSize,
+		allocs:   make(map[uint64]allocInfo),
+		metaBase: make(map[uint64]uint64),
+		rng:      cfg.RandomSeed,
+		resident: newResidentTable(),
+		meta:     newMetaTable(),
+		nextSegP: segPageBase,
+	}
+	for s := uint64(cfg.PageSize); s > 1; s >>= 1 {
+		h.pageShift++
+	}
+
+	var err error
+	h.seal, err = seal.New(h.model)
+	if err != nil {
+		return nil, fmt.Errorf("suvm: creating sealer: %w", err)
+	}
+
+	// Backing store region, split in two halves.
+	h.bsSize = cfg.BackingBytes
+	h.bsBase = h.plat.AllocHost(h.bsSize)
+	half := h.bsSize / 2
+	h.cachedBS, err = hostmem.NewBuddy(h.bsBase, half)
+	if err != nil {
+		return nil, fmt.Errorf("suvm: backing store: %w", err)
+	}
+	h.directBase = h.bsBase + half
+	h.directBS, err = hostmem.NewBuddy(h.directBase, half)
+	if err != nil {
+		return nil, fmt.Errorf("suvm: direct backing store: %w", err)
+	}
+
+	// EPC++ frame pool: pinned enclave pages.
+	maxFrames := int(cfg.PageCacheBytes / h.pageSize)
+	if maxFrames < 4 {
+		return nil, fmt.Errorf("%w: page cache of %d bytes holds fewer than 4 pages", ErrBadConfig, cfg.PageCacheBytes)
+	}
+	poolPages := (uint64(maxFrames)*h.pageSize + 4095) / 4096
+	h.frameBase = encl.AllocPages(poolPages)
+	encl.Pin(setup, h.frameBase, uint64(maxFrames)*h.pageSize)
+	h.frames = make([]frameMeta, maxFrames)
+	h.activeFrames = maxFrames
+	h.freeFrames = make([]int32, 0, maxFrames)
+	for i := maxFrames - 1; i >= 0; i-- {
+		h.frames[i].bsPage = noBSPage
+		h.freeFrames = append(h.freeFrames, int32(i))
+	}
+
+	// Inverse page table region: one entry per EPC++ frame, double
+	// provisioned as a hash table (the paper pre-allocates it large).
+	h.iptSlots = uint64(2 * maxFrames)
+	h.iptBase = encl.Alloc(h.iptSlots * iptEntryBytes)
+
+	h.scratch.New = func() any {
+		b := make([]byte, cfg.PageSize+seal.Overhead)
+		return &b
+	}
+	return h, nil
+}
+
+// noBSPage marks an unused frame.
+const noBSPage = ^uint64(0)
+
+// segPageBase is the first pseudo page number used for mounted
+// segments; it is far above any page the heap's own 2^32-page backing
+// region can produce, so the two ranges never collide.
+const segPageBase = uint64(1) << 40
+
+// frameMeta is the in-enclave descriptor of one EPC++ frame. refcnt is
+// the paper's per-page reference count of linked spointers: frames with
+// refcnt > 0 are pinned in EPC++ and skipped by eviction.
+type frameMeta struct {
+	bsPage uint64
+	// refcnt is mutated only under the bsPage's resident-table shard
+	// lock (so check-then-evict stays atomic) but read optimistically by
+	// victim selection, hence the atomic type.
+	refcnt   atomic.Int32
+	accessed atomic.Bool // clock reference bit
+	dirty    atomic.Bool // set by writers; consumed under faultMu at eviction
+	disabled bool        // removed from EPC++ by ballooning (under faultMu)
+}
+
+const iptEntryBytes = 16
+const metaEntryBytes = 32
+
+// metaChunkPages is the number of backing-store pages whose crypto
+// metadata shares one enclave-memory chunk (128 Ki pages = 4 MiB of
+// metadata per 512 MiB of backing store at 4 KiB pages).
+const metaChunkPages = 1 << 17
+
+// frameVaddr returns the enclave virtual address of frame f.
+func (h *Heap) frameVaddr(f int32) uint64 { return h.frameBase + uint64(f)*h.pageSize }
+
+// bsPageOf maps a backing-store address to its SUVM page number
+// (relative to the heap's backing region, so numbering is dense).
+func (h *Heap) bsPageOf(bsAddr uint64) uint64 { return (bsAddr - h.bsBase) >> h.pageShift }
+
+// bsAddrOf is the inverse of bsPageOf for page-aligned addresses.
+func (h *Heap) bsAddrOf(bsPage uint64) uint64 { return h.bsBase + (bsPage << h.pageShift) }
+
+// PageSize returns the configured EPC++ page size.
+func (h *Heap) PageSize() int { return int(h.pageSize) }
+
+// SubPageSize returns the configured direct-access granularity.
+func (h *Heap) SubPageSize() int { return int(h.subSize) }
+
+// Enclave returns the owning enclave.
+func (h *Heap) Enclave() *sgx.Enclave { return h.encl }
+
+// Malloc allocates n bytes in the backing store and returns an unlinked
+// spointer to it, as suvm_malloc does. The memory is demand-cached in
+// EPC++ on first access.
+func (h *Heap) Malloc(n uint64) (*SPtr, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero-size allocation", ErrBadConfig)
+	}
+	h.allocMu.Lock()
+	defer h.allocMu.Unlock()
+	addr, err := h.cachedBS.Alloc(n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBackingFull, err)
+	}
+	h.allocs[addr] = allocInfo{size: n, direct: false}
+	return &SPtr{h: h, base: addr, size: n, frame: -1}, nil
+}
+
+// MallocDirect allocates n bytes accessed directly in the backing store
+// at sub-page granularity, bypassing EPC++ (§3.2.4). Suited to small
+// random accesses with no reuse.
+func (h *Heap) MallocDirect(n uint64) (*SPtr, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("%w: zero-size allocation", ErrBadConfig)
+	}
+	h.allocMu.Lock()
+	defer h.allocMu.Unlock()
+	addr, err := h.directBS.Alloc(n)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBackingFull, err)
+	}
+	h.allocs[addr] = allocInfo{size: n, direct: true}
+	return &SPtr{h: h, base: addr, size: n, frame: -1, direct: true}, nil
+}
+
+// Free releases an allocation, unlinking the spointer first. Cached
+// contents of pages shared with live allocations stay valid; the freed
+// range may be recycled by a later Malloc with malloc(3) semantics
+// (contents unspecified).
+func (h *Heap) Free(th *sgx.Thread, p *SPtr) error {
+	if p.h != h {
+		return fmt.Errorf("%w: spointer belongs to a different heap", ErrDoubleFree)
+	}
+	p.Unlink(th)
+	h.allocMu.Lock()
+	defer h.allocMu.Unlock()
+	info, ok := h.allocs[p.base]
+	if !ok {
+		return ErrDoubleFree
+	}
+	delete(h.allocs, p.base)
+	if info.direct {
+		return h.directBS.Free(p.base)
+	}
+	return h.cachedBS.Free(p.base)
+}
+
+// Stats returns a snapshot of the heap's event counters.
+func (h *Heap) Stats() StatsSnapshot { return h.stats.snapshot() }
+
+// ResetStats zeroes the counters (benchmark warm-up boundary).
+func (h *Heap) ResetStats() { h.stats.reset() }
+
+// ActiveFrames reports the current EPC++ capacity in pages.
+func (h *Heap) ActiveFrames() int {
+	h.faultMu.Lock()
+	defer h.faultMu.Unlock()
+	return h.activeFrames
+}
+
+func (h *Heap) getScratch() *[]byte  { return h.scratch.Get().(*[]byte) }
+func (h *Heap) putScratch(b *[]byte) { h.scratch.Put(b) }

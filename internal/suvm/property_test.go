@@ -1,0 +1,196 @@
+package suvm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestSUVMBehavesLikeFlatMemory drives random operation sequences
+// against a SUVM allocation and a plain byte-slice oracle. Whatever the
+// paging system does underneath — faults, evictions, write-backs, clean
+// drops, link/unlink churn — every read must return exactly what flat
+// memory would.
+func TestSUVMBehavesLikeFlatMemory(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Tiny cache (16 frames) against a 64-page allocation: constant
+		// eviction pressure.
+		cfg := Config{PageCacheBytes: 64 << 10, BackingBytes: 16 << 20}
+		cfg.Policy = EvictionPolicy(rng.Intn(3))
+		cfg.WriteBackClean = rng.Intn(2) == 0
+		e := newEnv(t, cfg)
+		const size = 64 * 4096
+		p, err := e.h.Malloc(size)
+		if err != nil {
+			return false
+		}
+		oracle := make([]byte, size)
+		cursor := p.Clone()
+
+		for i := 0; i < 400; i++ {
+			off := uint64(rng.Intn(size))
+			n := rng.Intn(min(10000, size-int(off))) + 1
+			switch rng.Intn(6) {
+			case 0: // positioned write
+				data := make([]byte, n)
+				rng.Read(data)
+				if err := p.WriteAt(e.th, off, data); err != nil {
+					return false
+				}
+				copy(oracle[off:], data)
+			case 1: // positioned read
+				got := make([]byte, n)
+				if err := p.ReadAt(e.th, off, got); err != nil {
+					return false
+				}
+				if !bytes.Equal(got, oracle[off:int(off)+n]) {
+					return false
+				}
+			case 2: // cursor write (linked path)
+				if err := cursor.Seek(e.th, off); err != nil {
+					return false
+				}
+				data := make([]byte, min(n, 64))
+				rng.Read(data)
+				if err := cursor.Write(e.th, data); err != nil {
+					return false
+				}
+				copy(oracle[off:], data)
+			case 3: // cursor read (linked path)
+				if err := cursor.Seek(e.th, off); err != nil {
+					return false
+				}
+				got := make([]byte, min(n, 64))
+				if err := cursor.Read(e.th, got); err != nil {
+					return false
+				}
+				if !bytes.Equal(got, oracle[off:int(off)+len(got)]) {
+					return false
+				}
+			case 4: // memset
+				b := byte(rng.Intn(256))
+				if err := p.MemsetAt(e.th, off, uint64(n), b); err != nil {
+					return false
+				}
+				for j := 0; j < n; j++ {
+					oracle[int(off)+j] = b
+				}
+			case 5: // compare
+				c, err := p.CompareAt(e.th, off, oracle[off:int(off)+n])
+				if err != nil || c != 0 {
+					return false
+				}
+			}
+		}
+		cursor.Unlink(e.th)
+		// Final full sweep.
+		got := make([]byte, size)
+		if err := p.ReadAt(e.th, 0, got); err != nil {
+			return false
+		}
+		return bytes.Equal(got, oracle)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDirectBehavesLikeFlatMemory is the same oracle property for
+// sub-page direct allocations, including misaligned read-modify-write.
+func TestDirectBehavesLikeFlatMemory(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := newEnv(t, smallCfg())
+		const size = 96 << 10
+		p, err := e.h.MallocDirect(size)
+		if err != nil {
+			return false
+		}
+		oracle := make([]byte, size)
+		for i := 0; i < 200; i++ {
+			off := uint64(rng.Intn(size))
+			n := rng.Intn(min(5000, size-int(off))) + 1
+			if rng.Intn(2) == 0 {
+				data := make([]byte, n)
+				rng.Read(data)
+				if err := p.WriteAt(e.th, off, data); err != nil {
+					return false
+				}
+				copy(oracle[off:], data)
+			} else {
+				got := make([]byte, n)
+				if err := p.ReadAt(e.th, off, got); err != nil {
+					return false
+				}
+				if !bytes.Equal(got, oracle[off:int(off)+n]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRefcountsReturnToZero: after any sequence of link/unlink churn,
+// no frame stays pinned once all spointers are unlinked — the invariant
+// behind "EPC++ exhausted" never firing in well-behaved programs.
+func TestRefcountsReturnToZero(t *testing.T) {
+	e := newEnv(t, smallCfg())
+	rng := rand.New(rand.NewSource(77))
+	var ptrs []*SPtr
+	for i := 0; i < 10; i++ {
+		p, err := e.h.Malloc(32 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ptrs = append(ptrs, p)
+	}
+	var b [16]byte
+	for i := 0; i < 2000; i++ {
+		p := ptrs[rng.Intn(len(ptrs))]
+		off := uint64(rng.Intn(int(p.Size()) - 16))
+		_ = p.Seek(e.th, off)
+		if rng.Intn(2) == 0 {
+			_ = p.Write(e.th, b[:])
+		} else {
+			_ = p.Read(e.th, b[:])
+		}
+	}
+	for _, p := range ptrs {
+		p.Unlink(e.th)
+	}
+	for i := range e.h.frames {
+		if rc := e.h.frames[i].refcnt.Load(); rc != 0 {
+			t.Fatalf("frame %d still pinned (refcnt=%d) after all unlinks", i, rc)
+		}
+	}
+}
+
+// TestEvictEverythingStillConsistent: force the entire page cache
+// through eviction (twice) and verify contents survive both the sealed
+// round trip and nonce rotation.
+func TestEvictEverythingStillConsistent(t *testing.T) {
+	e := newEnv(t, smallCfg())
+	p, _ := e.h.Malloc(512 << 10)
+	want := make([]byte, 512<<10)
+	rand.New(rand.NewSource(13)).Read(want)
+	_ = p.WriteAt(e.th, 0, want)
+	for round := 0; round < 2; round++ {
+		// Thrash with a second allocation to evict everything.
+		q, _ := e.h.Malloc(512 << 10)
+		_ = q.MemsetAt(e.th, 0, q.Size(), byte(round))
+		got := make([]byte, len(want))
+		_ = p.ReadAt(e.th, 0, got)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("round %d: contents corrupted across full eviction", round)
+		}
+		if err := e.h.Free(e.th, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package suvm
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"eleos/internal/sgx"
+)
+
+// twoEnclaves builds two enclaves with heaps on one platform.
+func twoEnclaves(t testing.TB) (*sgx.Platform, [2]*testEnv) {
+	t.Helper()
+	plat, err := sgx.NewPlatform(sgx.Config{UsablePRMBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envs [2]*testEnv
+	for i := range envs {
+		encl, err := plat.NewEnclave()
+		if err != nil {
+			t.Fatal(err)
+		}
+		th := encl.NewThread()
+		th.Enter()
+		h, err := New(encl, th, Config{PageCacheBytes: 1 << 20, BackingBytes: 64 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		envs[i] = &testEnv{plat: plat, encl: encl, th: th, h: h}
+	}
+	return plat, envs
+}
+
+func TestSegmentTransferBetweenEnclaves(t *testing.T) {
+	plat, envs := twoEnclaves(t)
+	seg, err := NewSegment(plat, 4<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Enclave A writes a dataset into the segment and detaches.
+	a := envs[0]
+	pa, err := a.h.Attach(a.th, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 4<<20)
+	rand.New(rand.NewSource(8)).Read(want)
+	if err := pa.WriteAt(a.th, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.h.Detach(a.th, pa); err != nil {
+		t.Fatal(err)
+	}
+
+	// Enclave B attaches and reads everything back.
+	b := envs[1]
+	pb, err := b.h.Attach(b.th, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := pb.ReadAt(b.th, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("segment contents corrupted across enclave transfer")
+	}
+	if err := b.h.Detach(b.th, pb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentSingleOwner(t *testing.T) {
+	plat, envs := twoEnclaves(t)
+	seg, _ := NewSegment(plat, 1<<20, 4096)
+	pa, err := envs[0].h.Attach(envs[0].th, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := envs[1].h.Attach(envs[1].th, seg); err == nil {
+		t.Fatal("double mount permitted")
+	}
+	if err := envs[0].h.Detach(envs[0].th, pa); err != nil {
+		t.Fatal(err)
+	}
+	pb, err := envs[1].h.Attach(envs[1].th, seg)
+	if err != nil {
+		t.Fatalf("remount after detach failed: %v", err)
+	}
+	_ = envs[1].h.Detach(envs[1].th, pb)
+}
+
+func TestSegmentTamperDetectedAcrossTransfer(t *testing.T) {
+	plat, envs := twoEnclaves(t)
+	seg, _ := NewSegment(plat, 1<<20, 4096)
+	a := envs[0]
+	pa, _ := a.h.Attach(a.th, seg)
+	_ = pa.WriteAt(a.th, 0, bytes.Repeat([]byte{0xAB}, 1<<20))
+	_ = a.h.Detach(a.th, pa)
+
+	// The untrusted OS flips a bit of the sealed segment while it is
+	// unmounted (in transit between enclaves).
+	var bb [1]byte
+	plat.Host.ReadAt(seg.bsBase+5000, bb[:])
+	bb[0] ^= 4
+	plat.Host.WriteAt(seg.bsBase+5000, bb[:])
+
+	b := envs[1]
+	pb, _ := b.h.Attach(b.th, seg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tampered segment page accepted after transfer")
+		}
+	}()
+	buf := make([]byte, 4096)
+	_ = pb.ReadAt(b.th, 4096, buf)
+}
+
+func TestSegmentPingPong(t *testing.T) {
+	// Two enclaves increment a shared counter array alternately:
+	// message-passing shared memory in action.
+	plat, envs := twoEnclaves(t)
+	seg, _ := NewSegment(plat, 64<<10, 4096)
+	const rounds = 6
+	for r := 0; r < rounds; r++ {
+		e := envs[r%2]
+		p, err := e.h.Attach(e.th, seg)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		for slot := uint64(0); slot < 16; slot++ {
+			v, err := p.U64At(e.th, slot*4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != uint64(r) {
+				t.Fatalf("round %d slot %d: counter %d", r, slot, v)
+			}
+			if err := p.PutU64At(e.th, slot*4096, v+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.h.Detach(e.th, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSegmentPageSizeMismatchRejected(t *testing.T) {
+	plat, envs := twoEnclaves(t)
+	seg, _ := NewSegment(plat, 1<<20, 8192)
+	if _, err := envs[0].h.Attach(envs[0].th, seg); err == nil {
+		t.Fatal("page-size mismatch accepted")
+	}
+}
+
+func TestDetachedSpointerPoisoned(t *testing.T) {
+	plat, envs := twoEnclaves(t)
+	seg, _ := NewSegment(plat, 1<<20, 4096)
+	p, _ := envs[0].h.Attach(envs[0].th, seg)
+	_ = envs[0].h.Detach(envs[0].th, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("detached spointer usable")
+		}
+	}()
+	_ = p.ReadAt(envs[0].th, 0, make([]byte, 8))
+}

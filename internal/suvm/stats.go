@@ -1,0 +1,75 @@
+package suvm
+
+import "sync/atomic"
+
+// Stats holds the heap's atomic event counters.
+type Stats struct {
+	majorFaults  atomic.Uint64
+	minorFaults  atomic.Uint64
+	pageIns      atomic.Uint64
+	evictions    atomic.Uint64
+	writeBacks   atomic.Uint64
+	cleanDrops   atomic.Uint64
+	directReads  atomic.Uint64
+	directWrites atomic.Uint64
+	resizes      atomic.Uint64
+	faultCycles  atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	// MajorFaults counts software page faults that paged data in from
+	// the backing store or zero-filled a fresh page.
+	MajorFaults uint64
+	// MinorFaults counts unlinked accesses that found the page already
+	// resident in EPC++ (§3.2.2).
+	MinorFaults uint64
+	// PageIns counts pages filled into EPC++ (decrypt or zero-fill).
+	PageIns uint64
+	// Evictions counts pages removed from EPC++.
+	Evictions uint64
+	// WriteBacks counts evictions that sealed the page out to the
+	// backing store.
+	WriteBacks uint64
+	// CleanDrops counts evictions that skipped the write-back because
+	// the page was clean — the §3.2.4 optimization EWB cannot do.
+	CleanDrops uint64
+	// DirectReads and DirectWrites count sub-page direct accesses.
+	DirectReads  uint64
+	DirectWrites uint64
+	// Resizes counts EPC++ ballooning operations.
+	Resizes uint64
+	// FaultCycles is the total virtual cycles spent inside major-fault
+	// handling (eviction + page-in), excluding the application's own
+	// access; FaultCycles/MajorFaults is directly comparable to the
+	// paper's §6.1.2 software-fault latencies.
+	FaultCycles uint64
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		MajorFaults:  s.majorFaults.Load(),
+		MinorFaults:  s.minorFaults.Load(),
+		PageIns:      s.pageIns.Load(),
+		Evictions:    s.evictions.Load(),
+		WriteBacks:   s.writeBacks.Load(),
+		CleanDrops:   s.cleanDrops.Load(),
+		DirectReads:  s.directReads.Load(),
+		DirectWrites: s.directWrites.Load(),
+		Resizes:      s.resizes.Load(),
+		FaultCycles:  s.faultCycles.Load(),
+	}
+}
+
+func (s *Stats) reset() {
+	s.majorFaults.Store(0)
+	s.minorFaults.Store(0)
+	s.pageIns.Store(0)
+	s.evictions.Store(0)
+	s.writeBacks.Store(0)
+	s.cleanDrops.Store(0)
+	s.directReads.Store(0)
+	s.directWrites.Store(0)
+	s.resizes.Store(0)
+	s.faultCycles.Store(0)
+}

@@ -1,0 +1,189 @@
+package suvm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"eleos/internal/phys"
+	"eleos/internal/sgx"
+)
+
+// ResizeTo adjusts the EPC++ capacity to targetBytes (clamped to
+// [4 pages, configured capacity]). Shrinking evicts the vacated frames'
+// contents (write-back if dirty) and returns their EPC pages to the SGX
+// driver; growing re-pins previously released pages. This is the
+// operation the paper's swapper thread performs when the driver reports
+// PRM pressure (§3.3) — and, unlike the paper's prototype (§4.2, which
+// fixed the size at initialization), it works dynamically.
+func (h *Heap) ResizeTo(th *sgx.Thread, targetBytes uint64) error {
+	target := int(targetBytes / h.pageSize)
+	if target < 4 {
+		target = 4
+	}
+	if target > len(h.frames) {
+		target = len(h.frames)
+	}
+	h.faultMu.Lock()
+	defer h.faultMu.Unlock()
+	if target == h.activeFrames {
+		return nil
+	}
+	h.stats.resizes.Add(1)
+	if target < h.activeFrames {
+		return h.shrinkLocked(th, target)
+	}
+	return h.growLocked(th, target)
+}
+
+func (h *Heap) shrinkLocked(th *sgx.Thread, target int) error {
+	// Vacate the top frames. Pinned (linked) frames cannot be vacated;
+	// fail fast so the caller (swapper tick or explicit resize) retries.
+	for f := len(h.frames) - 1; f >= target; f-- {
+		fm := &h.frames[f]
+		if fm.disabled {
+			continue
+		}
+		if fm.bsPage != noBSPage {
+			if !h.evictFrameLocked(th, int32(f)) {
+				return fmt.Errorf("suvm: cannot shrink EPC++ below %d frames: frame %d is pinned by a linked spointer", f+1, f)
+			}
+		}
+		fm.disabled = true
+	}
+	// Drop the vacated frames from the free list.
+	h.freeMu.Lock()
+	kept := h.freeFrames[:0]
+	for _, f := range h.freeFrames {
+		if !h.frames[f].disabled {
+			kept = append(kept, f)
+		}
+	}
+	h.freeFrames = kept
+	h.freeMu.Unlock()
+	h.activeFrames = target
+	// Return the underlying EPC pages to the driver (whole 4 KiB pages
+	// only; with sub-4K SUVM pages the tail partial page is kept).
+	start := uint64(target) * h.pageSize
+	end := uint64(len(h.frames)) * h.pageSize
+	start = (start + phys.PageSize - 1) &^ (phys.PageSize - 1)
+	if end > start {
+		h.encl.FreePages(h.frameBase+start, end-start)
+	}
+	return nil
+}
+
+func (h *Heap) growLocked(th *sgx.Thread, target int) error {
+	start := uint64(h.activeFrames) * h.pageSize
+	end := uint64(target) * h.pageSize
+	start = (start + phys.PageSize - 1) &^ (phys.PageSize - 1)
+	if end > start {
+		// Re-materialize and pin the underlying EPC pages.
+		h.encl.Pin(th, h.frameBase+start, end-start)
+	}
+	h.freeMu.Lock()
+	for f := target - 1; f >= h.activeFrames; f-- {
+		h.frames[f].disabled = false
+		h.frames[f].bsPage = noBSPage
+		h.freeFrames = append(h.freeFrames, int32(f))
+	}
+	h.freeMu.Unlock()
+	h.activeFrames = target
+	return nil
+}
+
+// ReclaimFreePool pre-evicts pages until the free pool holds at least
+// target frames (or nothing evictable remains) — the §3.2.3 swapper
+// duty of "maintaining enough pages in the EPC++ free memory pool".
+// Run from a dedicated swapper thread, it moves eviction work (dirty
+// write-backs included) off the application threads' fault critical
+// path: their major faults then find free frames and pay only the
+// page-in.
+func (h *Heap) ReclaimFreePool(th *sgx.Thread, target int) int {
+	if target > h.activeFrames/2 {
+		target = h.activeFrames / 2
+	}
+	h.faultMu.Lock()
+	defer h.faultMu.Unlock()
+	reclaimed := 0
+	for {
+		h.freeMu.Lock()
+		n := len(h.freeFrames)
+		h.freeMu.Unlock()
+		if n >= target {
+			return reclaimed
+		}
+		v := h.pickVictimLocked()
+		if v < 0 {
+			return reclaimed
+		}
+		if !h.evictFrameLocked(th, v) {
+			continue
+		}
+		h.freeMu.Lock()
+		h.freeFrames = append(h.freeFrames, v)
+		h.freeMu.Unlock()
+		reclaimed++
+	}
+}
+
+// BalloonTick queries the SGX driver for this enclave's PRM share and
+// resizes EPC++ to fit inside it, leaving a fraction of headroom for the
+// enclave's other memory (page tables, application heap). This is the
+// cooperative memory management of §3.3 — the enclave-side analogue of
+// VM ballooning, except the trusted runtime can directly shrink its own
+// working set.
+func (h *Heap) BalloonTick(th *sgx.Thread) error {
+	avail := h.plat.Driver.AvailableEPCBytes()
+	target := avail - avail/4 // keep 25% headroom for non-EPC++ enclave memory
+	if target > h.cfg.PageCacheBytes {
+		target = h.cfg.PageCacheBytes
+	}
+	return h.ResizeTo(th, target)
+}
+
+// Swapper is the background EPC++ swapper thread of §3.2.3: a goroutine
+// owning a dedicated enclave thread that periodically re-balloons the
+// page cache in response to driver-reported PRM pressure and tops up
+// the free frame pool so application faults skip the eviction work.
+type Swapper struct {
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// freePoolFraction is the share of EPC++ the swapper keeps free.
+const freePoolFraction = 32 // 1/32 ≈ 3%
+
+// StartSwapper launches the background swapper with the given polling
+// interval. The returned Swapper must be stopped before the heap's
+// enclave is destroyed.
+func (h *Heap) StartSwapper(interval time.Duration) *Swapper {
+	s := &Swapper{stop: make(chan struct{})}
+	th := h.encl.NewThread()
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				th.Enter()
+				// Best effort: a transiently pinned frame may block a
+				// shrink; the next tick retries.
+				_ = h.BalloonTick(th)
+				h.ReclaimFreePool(th, h.ActiveFrames()/freePoolFraction)
+				th.Exit()
+			}
+		}
+	}()
+	return s
+}
+
+// Stop terminates the swapper and waits for it to finish.
+func (s *Swapper) Stop() {
+	close(s.stop)
+	s.done.Wait()
+}

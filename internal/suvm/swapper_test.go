@@ -1,0 +1,71 @@
+package suvm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackgroundSwapperDeflatesUnderPressure(t *testing.T) {
+	e := newEnv(t, Config{PageCacheBytes: 16 << 20, BackingBytes: 64 << 20})
+	sw := e.h.StartSwapper(5 * time.Millisecond)
+	defer sw.Stop()
+
+	// Initially the single enclave keeps its full configuration.
+	deadline := time.Now().Add(2 * time.Second)
+	waitFor := func(cond func() bool, what string) {
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timeout waiting for %s (frames=%d)", what, e.h.ActiveFrames())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	full := int((16 << 20) / 4096)
+	waitFor(func() bool { return e.h.ActiveFrames() == full }, "full size")
+
+	// A second enclave halves the PRM share; the swapper must deflate.
+	e2, err := e.plat.NewEnclave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(func() bool { return e.h.ActiveFrames() < full }, "deflation")
+
+	// And re-inflate after the pressure goes away.
+	e2.Destroy()
+	waitFor(func() bool { return e.h.ActiveFrames() == full }, "re-inflation")
+}
+
+func TestReclaimFreePoolMovesEvictionOffFaultPath(t *testing.T) {
+	e := newEnv(t, Config{PageCacheBytes: 1 << 20, BackingBytes: 64 << 20}) // 256 frames
+	p, _ := e.h.Malloc(4 << 20)
+	buf := make([]byte, 4096)
+	for off := uint64(0); off+4096 <= p.Size(); off += 4096 {
+		_ = p.WriteAt(e.th, off, buf)
+	}
+	// Pool is empty after the fill; a swapper thread reclaims 32 frames.
+	swapTh := e.encl.NewThread()
+	swapTh.Enter()
+	if got := e.h.ReclaimFreePool(swapTh, 32); got != 32 {
+		t.Fatalf("reclaimed %d frames, want 32", got)
+	}
+	if swapTh.T.Cycles() == 0 {
+		t.Fatal("reclaim charged no work to the swapper thread")
+	}
+	// The next 32 faults must not evict anything further: write-backs
+	// were prepaid by the swapper.
+	e.h.ResetStats()
+	for i := 0; i < 32; i++ {
+		_ = p.WriteAt(e.th, uint64(i)*4096, buf)
+	}
+	st := e.h.Stats()
+	if st.MajorFaults != 32 {
+		t.Fatalf("faults %d want 32", st.MajorFaults)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("faults still evicted %d pages despite the reclaimed pool", st.Evictions)
+	}
+	// Target is clamped to half the cache.
+	if got := e.h.ReclaimFreePool(swapTh, 10_000); got > 128 {
+		t.Fatalf("reclaim overshot the clamp: %d", got)
+	}
+}

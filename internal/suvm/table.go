@@ -1,0 +1,125 @@
+package suvm
+
+import (
+	"sync"
+
+	"eleos/internal/seal"
+	"eleos/internal/sgx"
+)
+
+// tableShards is the number of independently locked buckets groups in
+// the resident and metadata tables. The paper uses hash tables with a
+// separate spin-lock per bucket (§4.1); sharding gives the same
+// contention behaviour.
+const tableShards = 64
+
+// residentTable is the inverse page table of EPC++: it maps a
+// backing-store page number to the frame caching it, and is consulted on
+// every unlinked spointer access and every fault.
+type residentTable struct {
+	shards [tableShards]residentShard
+}
+
+type residentShard struct {
+	mu sync.Mutex
+	m  map[uint64]int32
+}
+
+func newResidentTable() *residentTable {
+	t := &residentTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]int32)
+	}
+	return t
+}
+
+func (t *residentTable) shard(bsPage uint64) *residentShard {
+	return &t.shards[bsPage%tableShards]
+}
+
+// metaTable is the crypto-metadata page table: nonce and MAC for every
+// sealed page (and per sub-page for direct allocations). It is accessed
+// only during paging and direct accesses, and may grow fairly large —
+// which is why its simulated residence (Heap.touchMeta) matters.
+type metaTable struct {
+	shards [tableShards]metaShard
+}
+
+type metaShard struct {
+	mu sync.Mutex
+	m  map[uint64]*pageMeta
+}
+
+// pageMeta holds the sealing metadata of one backing-store page.
+type pageMeta struct {
+	present bool // a sealed blob exists in the backing store
+	nonce   seal.Nonce
+	tag     [seal.TagSize]byte
+	subs    []subMeta // lazily sized; direct allocations only
+}
+
+type subMeta struct {
+	present bool
+	nonce   seal.Nonce
+	tag     [seal.TagSize]byte
+}
+
+func newMetaTable() *metaTable {
+	t := &metaTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*pageMeta)
+	}
+	return t
+}
+
+func (t *metaTable) shard(bsPage uint64) *metaShard {
+	return &t.shards[bsPage%tableShards]
+}
+
+// get returns the metadata entry for bsPage, creating it if create is
+// set. Caller must hold the shard lock.
+func (s *metaShard) get(bsPage uint64, create bool) *pageMeta {
+	m := s.m[bsPage]
+	if m == nil && create {
+		m = &pageMeta{}
+		s.m[bsPage] = m
+	}
+	return m
+}
+
+// lockCost charges one spin-lock acquire/release pair, the model cost of
+// the paper's per-bucket spin-locks.
+func (h *Heap) lockCost(th *sgx.Thread) { th.T.Charge(h.model.SpinLock) }
+
+// touchIPT simulates the in-EPC residence of the inverse page table:
+// one 16-byte entry per lookup, at the page's hash slot. Because the
+// table is small and hot it normally stays LLC- and PRM-resident; the
+// charge is the entry's cache behaviour, not a constant.
+func (h *Heap) touchIPT(th *sgx.Thread, bsPage uint64) {
+	var e [iptEntryBytes]byte
+	th.Read(h.iptBase+(bsPage%h.iptSlots)*iptEntryBytes, e[:])
+}
+
+// touchMeta simulates the in-EPC residence of the crypto-metadata table
+// entry for bsPage. The region grows with the backing store (one chunk
+// per metaChunkPages pages), so working sets far beyond PRM push parts
+// of it out of secure memory and its accesses start hardware-faulting —
+// the paper's observation that SUVM metadata is paged by native SGX
+// (§4.2) and the cause of the Fig 7a dropoff past 1 GiB.
+func (h *Heap) touchMeta(th *sgx.Thread, bsPage uint64, write bool) {
+	chunk := bsPage / metaChunkPages
+	h.metaMu.Lock()
+	base, ok := h.metaBase[chunk]
+	if !ok {
+		base = h.encl.Alloc(metaChunkPages * metaEntryBytes)
+		h.metaBase[chunk] = base
+	}
+	h.metaMu.Unlock()
+	addr := base + (bsPage%metaChunkPages)*metaEntryBytes
+	var e [metaEntryBytes]byte
+	if write {
+		th.Write(addr, e[:])
+	} else {
+		th.Read(addr, e[:])
+	}
+}

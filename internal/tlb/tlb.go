@@ -1,0 +1,153 @@
+// Package tlb models the per-hardware-thread translation lookaside
+// buffer of the simulated machine. The TLB is the vehicle for two of the
+// indirect costs the Eleos paper quantifies: every enclave exit flushes
+// the TLB (so pointer-chasing workloads pay page walks again after each
+// system call, Fig 2b), and hardware EPC page eviction requires TLB
+// shootdown IPIs to every core that may cache the mapping (Table 2).
+package tlb
+
+import (
+	"eleos/internal/cycles"
+)
+
+// A TLB caches virtual-page to physical-frame presence for a single
+// simulated hardware thread. It is a set-associative tag array with
+// round-robin replacement, sized like a Skylake STLB. A TLB is owned by
+// one goroutine; Shootdown presence checks from the driver must be
+// externally synchronized (the sgx package serializes them).
+type TLB struct {
+	model *cycles.Model
+	sets  [][]entry
+	rr    []uint8 // per-set round-robin pointer
+	mask  uint64
+
+	misses  uint64
+	flushes uint64
+}
+
+type entry struct {
+	vpage uint64
+	valid bool
+	epc   bool
+}
+
+// Config describes the TLB geometry.
+type Config struct {
+	// Entries is the total entry count (default 1536, Skylake STLB).
+	Entries int
+	// Ways is the associativity (default 12).
+	Ways int
+}
+
+// New creates a TLB over the given cost model.
+func New(m *cycles.Model, cfg Config) *TLB {
+	if cfg.Entries == 0 {
+		cfg.Entries = 1536
+	}
+	if cfg.Ways == 0 {
+		cfg.Ways = 12
+	}
+	numSets := cfg.Entries / cfg.Ways
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		// Round down to a power of two so indexing stays a mask.
+		p := 1
+		for p*2 <= numSets {
+			p *= 2
+		}
+		numSets = p
+	}
+	t := &TLB{
+		model: m,
+		sets:  make([][]entry, numSets),
+		rr:    make([]uint8, numSets),
+		mask:  uint64(numSets - 1),
+	}
+	for i := range t.sets {
+		t.sets[i] = make([]entry, cfg.Ways)
+	}
+	return t
+}
+
+// Access simulates the translation of vpage (a virtual page number, not
+// a byte address) and charges th the page-walk cost on a miss. epc marks
+// translations whose page walks touch encrypted memory, which cost more.
+func (t *TLB) Access(th *cycles.Thread, vpage uint64, epc bool) (hit bool) {
+	s := t.sets[vpage&t.mask]
+	for i := range s {
+		if s[i].valid && s[i].vpage == vpage {
+			return true
+		}
+	}
+	t.misses++
+	if epc {
+		th.Charge(t.model.TLBMissEPC)
+	} else {
+		th.Charge(t.model.TLBMiss)
+	}
+	idx := vpage & t.mask
+	way := t.rr[idx]
+	t.rr[idx] = uint8((int(way) + 1) % len(s))
+	s[way] = entry{vpage: vpage, valid: true, epc: epc}
+	return false
+}
+
+// Contains reports whether vpage is currently cached, without charging
+// any cost. The SGX driver uses it to decide whether an eviction needs a
+// shootdown IPI to this thread's core.
+func (t *TLB) Contains(vpage uint64) bool {
+	s := t.sets[vpage&t.mask]
+	for i := range s {
+		if s[i].valid && s[i].vpage == vpage {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops a single translation if present, as done by the
+// receiver of a shootdown IPI.
+func (t *TLB) Invalidate(vpage uint64) {
+	s := t.sets[vpage&t.mask]
+	for i := range s {
+		if s[i].valid && s[i].vpage == vpage {
+			s[i].valid = false
+		}
+	}
+}
+
+// Flush invalidates every entry, as performed on enclave exit (EEXIT and
+// AEX both flush enclave translations).
+func (t *TLB) Flush() {
+	t.flushes++
+	for _, s := range t.sets {
+		for i := range s {
+			s[i].valid = false
+		}
+	}
+}
+
+// FlushEPC invalidates only the enclave translations, modelling the
+// architectural behaviour that exits flush enclave-private mappings
+// while untrusted mappings may survive.
+func (t *TLB) FlushEPC() {
+	t.flushes++
+	for _, s := range t.sets {
+		for i := range s {
+			if s[i].epc {
+				s[i].valid = false
+			}
+		}
+	}
+}
+
+// Misses returns the page-walk count so far.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// Flushes returns the number of full or EPC flushes so far.
+func (t *TLB) Flushes() uint64 { return t.flushes }
+
+// ResetStats zeroes the counters without touching cached translations.
+func (t *TLB) ResetStats() {
+	t.misses = 0
+	t.flushes = 0
+}

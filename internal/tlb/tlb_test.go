@@ -1,0 +1,97 @@
+package tlb
+
+import (
+	"testing"
+
+	"eleos/internal/cycles"
+)
+
+func newTLB(t testing.TB) (*TLB, *cycles.Thread) {
+	t.Helper()
+	m := cycles.DefaultModel()
+	return New(m, Config{}), cycles.NewThread(1, m)
+}
+
+func TestMissThenHit(t *testing.T) {
+	tl, th := newTLB(t)
+	if tl.Access(th, 100, false) {
+		t.Fatal("cold translation hit")
+	}
+	if !tl.Access(th, 100, false) {
+		t.Fatal("warm translation missed")
+	}
+	if tl.Misses() != 1 {
+		t.Fatalf("miss count %d", tl.Misses())
+	}
+}
+
+func TestWalkCostsFollowModel(t *testing.T) {
+	tl, th := newTLB(t)
+	m := th.Model()
+	before := th.Cycles()
+	tl.Access(th, 1, false)
+	if got := th.Cycles() - before; got != m.TLBMiss {
+		t.Fatalf("host walk charged %d, want %d", got, m.TLBMiss)
+	}
+	before = th.Cycles()
+	tl.Access(th, 2, true)
+	if got := th.Cycles() - before; got != m.TLBMissEPC {
+		t.Fatalf("EPC walk charged %d, want %d", got, m.TLBMissEPC)
+	}
+}
+
+func TestFlushEPCKeepsHostEntries(t *testing.T) {
+	tl, th := newTLB(t)
+	tl.Access(th, 10, false) // host
+	tl.Access(th, 20, true)  // enclave
+	tl.FlushEPC()
+	if !tl.Contains(10) {
+		t.Fatal("host translation lost on enclave flush")
+	}
+	if tl.Contains(20) {
+		t.Fatal("enclave translation survived flush")
+	}
+}
+
+func TestFullFlush(t *testing.T) {
+	tl, th := newTLB(t)
+	tl.Access(th, 10, false)
+	tl.Access(th, 20, true)
+	tl.Flush()
+	if tl.Contains(10) || tl.Contains(20) {
+		t.Fatal("translations survived full flush")
+	}
+	if tl.Flushes() != 1 {
+		t.Fatalf("flush count %d", tl.Flushes())
+	}
+}
+
+func TestInvalidateSingle(t *testing.T) {
+	tl, th := newTLB(t)
+	tl.Access(th, 30, true)
+	tl.Access(th, 31, true)
+	tl.Invalidate(30)
+	if tl.Contains(30) {
+		t.Fatal("invalidated entry present")
+	}
+	if !tl.Contains(31) {
+		t.Fatal("unrelated entry dropped")
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tl, th := newTLB(t)
+	// Touch far more pages than the TLB holds; early pages must be
+	// evicted and re-miss.
+	const span = 8192
+	for vp := uint64(0); vp < span; vp++ {
+		tl.Access(th, vp, false)
+	}
+	m0 := tl.Misses()
+	for vp := uint64(0); vp < span; vp++ {
+		tl.Access(th, vp, false)
+	}
+	if tl.Misses() == m0 {
+		t.Fatal("no capacity misses on an 8192-page working set")
+	}
+}
