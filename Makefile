@@ -1,0 +1,36 @@
+# Tier-1 gate and helpers for the Eleos simulation repo.
+#
+#   make check   — the full tier-1 gate: formatting, vet, build, tests
+#                  (including the RPC stress tests under the race detector)
+#   make bench   — regenerate the async-RPC microbenchmark artifacts
+#                  (BENCH_rpc_async.json in the repo root)
+#   make test    — plain test run, no race detector
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/eleos-bench -quick -run rpc-async -json .

@@ -12,6 +12,7 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -58,13 +59,45 @@ func writeCSV(dir string, res *bench.Result) error {
 	return nil
 }
 
+// writeJSON renders the experiment — title, headers and rows of every
+// table — as BENCH_<id>.json (dashes mapped to underscores), the
+// machine-readable companion to the printed tables.
+func writeJSON(dir string, res *bench.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	type jsonTable struct {
+		Title   string     `json:"title"`
+		Note    string     `json:"note,omitempty"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	doc := struct {
+		ID     string      `json:"id"`
+		Title  string      `json:"title"`
+		Tables []jsonTable `json:"tables"`
+	}{ID: res.ID, Title: res.Title}
+	for _, t := range res.Tables {
+		doc.Tables = append(doc.Tables, jsonTable{
+			Title: t.Title, Note: t.Note, Headers: t.Headers, Rows: t.Rows,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := "BENCH_" + strings.ReplaceAll(res.ID, "-", "_") + ".json"
+	return os.WriteFile(filepath.Join(dir, name), append(data, '\n'), 0o644)
+}
+
 func main() {
 	var (
-		runIDs = flag.String("run", "", "comma-separated experiment IDs (default: all)")
-		quick  = flag.Bool("quick", false, "scaled-down datasets for fast runs")
-		ops    = flag.Int("ops", 0, "operations per configuration (0 = experiment default)")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
-		csvDir = flag.String("csv", "", "also write each experiment's tables as CSV into this directory")
+		runIDs  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick   = flag.Bool("quick", false, "scaled-down datasets for fast runs")
+		ops     = flag.Int("ops", 0, "operations per configuration (0 = experiment default)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		csvDir  = flag.String("csv", "", "also write each experiment's tables as CSV into this directory")
+		jsonDir = flag.String("json", "", "also write each experiment as BENCH_<id>.json into this directory")
 	)
 	flag.Parse()
 
@@ -105,6 +138,12 @@ func main() {
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, res); err != nil {
 				fmt.Fprintf(os.Stderr, "eleos-bench: writing CSV for %s: %v\n", e.ID, err)
+				failed++
+			}
+		}
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, res); err != nil {
+				fmt.Fprintf(os.Stderr, "eleos-bench: writing JSON for %s: %v\n", e.ID, err)
 				failed++
 			}
 		}

@@ -3,6 +3,7 @@ package eleos
 import (
 	"time"
 
+	"eleos/internal/rpc"
 	"eleos/internal/sgx"
 )
 
@@ -56,10 +57,55 @@ func (c *Ctx) MallocDirect(n uint64) (*Ptr, error) {
 }
 
 // Exitless delegates fn to an untrusted RPC worker without leaving the
-// enclave — the Eleos replacement for OCALL.
+// enclave — the Eleos replacement for OCALL. Panics if the runtime has
+// been closed (use Runtime.Pool().Call for a recoverable error).
 func (c *Ctx) Exitless(fn func(*HostCtx)) {
-	c.e.rt.pool.Call(c.th, fn)
+	if err := c.e.rt.pool.Call(c.th, fn); err != nil {
+		panic("eleos: Exitless on a closed runtime: " + err.Error())
+	}
 }
+
+// Go submits fn to an RPC worker asynchronously and returns a Future:
+// the context keeps computing while the untrusted worker runs the call,
+// and Future.Wait charges only the latency that compute did not hide
+// (§3.1's asynchronous exit-less variant). Panics if the runtime has
+// been closed.
+func (c *Ctx) Go(fn func(*HostCtx)) *Future {
+	f, err := c.e.rt.pool.CallAsync(c.th, fn)
+	if err != nil {
+		panic("eleos: Go on a closed runtime: " + err.Error())
+	}
+	return &Future{f: f, c: c}
+}
+
+// ExitlessBatch delegates all fns in one batched submission: a single
+// amortized enqueue charge, execution spread across the worker pool, and
+// the batch's parallel makespan — not the serial sum — observed as
+// latency. Panics if the runtime has been closed.
+func (c *Ctx) ExitlessBatch(fns ...func(*HostCtx)) {
+	if err := c.e.rt.pool.CallBatch(c.th, fns); err != nil {
+		panic("eleos: ExitlessBatch on a closed runtime: " + err.Error())
+	}
+}
+
+// Future is a context-bound handle to an asynchronous exit-less call
+// started with Ctx.Go. It belongs to the context that submitted it.
+type Future struct {
+	f *rpc.Future
+	c *Ctx
+}
+
+// Done reports whether the call has completed, without blocking and
+// without charging the context.
+func (f *Future) Done() bool { return f.f.Done() }
+
+// Wait blocks until the call completes, charging the context the
+// residual latency its compute since Go did not hide, plus the
+// completion poll. Idempotent.
+func (f *Future) Wait() { f.f.Wait(f.c.th) }
+
+// Raw returns the pool-level future (for use with explicit threads).
+func (f *Future) Raw() *rpc.Future { return f.f }
 
 // OCall performs a classic SDK OCALL (exit, run fn untrusted,
 // re-enter) — kept for comparison and for genuinely blocking calls, as

@@ -12,7 +12,7 @@
 //
 // Quickstart:
 //
-//	rt, _ := eleos.NewRuntime(eleos.DefaultConfig())
+//	rt, _ := eleos.NewRuntime(eleos.WithRPCWorkers(4))
 //	defer rt.Close()
 //	encl, _ := rt.NewEnclave(eleos.EnclaveConfig{PageCacheBytes: 32 << 20})
 //	ctx := encl.NewContext()
@@ -21,6 +21,10 @@
 //	ctx.Exitless(func(h *eleos.HostCtx) {   // syscall without leaving
 //		h.Syscall(nil)
 //	})
+//	fut := ctx.Go(func(h *eleos.HostCtx) {  // async: overlap enclave compute
+//		h.Syscall(nil)
+//	})
+//	fut.Wait()                              // charges only the residual latency
 package eleos
 
 import (
@@ -60,7 +64,10 @@ type (
 )
 
 // Config describes a Runtime: the simulated machine plus the untrusted
-// Eleos runtime (RPC workers, cache partitioning).
+// Eleos runtime (RPC workers, cache partitioning). New code should
+// prefer the functional options (WithRPCWorkers, WithCATWays,
+// WithMachine, ...); Config remains as the compatibility layer and is
+// itself an Option.
 type Config struct {
 	// Machine configures the simulated platform; zero values select the
 	// paper's testbed (93 MiB usable PRM, 8 MiB LLC).
@@ -72,6 +79,9 @@ type Config struct {
 	// buffer pollution. 0 disables partitioning; the paper uses 4 of 16
 	// (a 25%/75% split).
 	CATWays int
+	// RPCRing is the total RPC queue capacity, split across the worker
+	// ring shards (default 256).
+	RPCRing int
 }
 
 // DefaultConfig returns the paper's configuration: two RPC workers and
@@ -86,10 +96,23 @@ type Runtime struct {
 	pool *rpc.Pool
 }
 
-// NewRuntime builds the machine and starts the RPC worker pool.
-func NewRuntime(cfg Config) (*Runtime, error) {
+// NewRuntime builds the machine and starts the RPC worker pool. With no
+// arguments it uses DefaultConfig; otherwise the options are applied in
+// order. Passing a Config value (itself an Option) replaces the whole
+// configuration, preserving the pre-options call sites:
+//
+//	rt, _ := eleos.NewRuntime(eleos.DefaultConfig())        // classic
+//	rt, _ := eleos.NewRuntime(eleos.WithRPCWorkers(4))      // options
+func NewRuntime(opts ...Option) (*Runtime, error) {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o.applyOption(&cfg)
+	}
 	if cfg.RPCWorkers == 0 {
 		cfg.RPCWorkers = 2
+	}
+	if cfg.RPCRing == 0 {
+		cfg.RPCRing = 256
 	}
 	plat, err := sgx.NewPlatform(cfg.Machine)
 	if err != nil {
@@ -98,7 +121,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.CATWays > 0 {
 		plat.LLC.EnablePartitioning(cfg.CATWays)
 	}
-	pool := rpc.NewPool(plat, cfg.RPCWorkers, 256)
+	pool := rpc.NewPool(plat, cfg.RPCWorkers, cfg.RPCRing)
 	pool.Start()
 	return &Runtime{plat: plat, pool: pool}, nil
 }

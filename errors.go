@@ -1,0 +1,34 @@
+package eleos
+
+import (
+	"eleos/internal/rpc"
+	"eleos/internal/sgx"
+	"eleos/internal/suvm"
+)
+
+// Sentinel errors of the runtime, re-exported from the internal
+// packages that produce them so callers can match with errors.Is
+// against the public module path alone.
+var (
+	// ErrOutOfEPC marks requests that exceed the machine's processor
+	// reserved memory: a platform configured beyond the hardware PRM
+	// limit, or an enclave page cache larger than the PRM can pin.
+	ErrOutOfEPC = sgx.ErrOutOfEPC
+	// ErrFreed marks use of a pointer whose allocation was freed or
+	// whose segment was detached.
+	ErrFreed = suvm.ErrFreed
+	// ErrSegmentBusy marks attaching a segment that is mounted by
+	// another enclave, or detaching one whose pages are still pinned.
+	ErrSegmentBusy = suvm.ErrSegmentBusy
+	// ErrPoolStopped marks exit-less calls issued against a runtime
+	// whose RPC pool is not running (Runtime.Close already called).
+	ErrPoolStopped = rpc.ErrStopped
+
+	// Allocation and access errors of the SUVM heap.
+	ErrOutOfRange  = suvm.ErrOutOfRange
+	ErrBadConfig   = suvm.ErrBadConfig
+	ErrCorrupt     = suvm.ErrCorrupt
+	ErrNotDirect   = suvm.ErrNotDirect
+	ErrDoubleFree  = suvm.ErrDoubleFree
+	ErrBackingFull = suvm.ErrBackingFull
+)

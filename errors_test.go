@@ -1,0 +1,119 @@
+package eleos
+
+import (
+	"errors"
+	"testing"
+)
+
+// Every sentinel must be matchable with errors.Is through the public
+// API alone, end to end from the operation that produces it.
+func TestSentinelErrorsEndToEnd(t *testing.T) {
+	rt := newRuntime(t)
+
+	// ErrOutOfEPC: a page cache far beyond the machine's PRM.
+	if _, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 1 << 40}); !errors.Is(err, ErrOutOfEPC) {
+		t.Fatalf("oversized page cache error = %v, want ErrOutOfEPC", err)
+	}
+
+	encl, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encl.Destroy()
+	ctx := encl.NewContext()
+	defer ctx.Close()
+
+	// ErrFreed: the pointer is poisoned by Free; later use and a double
+	// free both report it.
+	p, err := ctx.Malloc(64 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ReadAt(0, make([]byte, 8)); !errors.Is(err, ErrFreed) {
+		t.Fatalf("read after free error = %v, want ErrFreed", err)
+	}
+	if err := p.WriteAt(0, []byte("x")); !errors.Is(err, ErrFreed) {
+		t.Fatalf("write after free error = %v, want ErrFreed", err)
+	}
+	if err := p.Free(); !errors.Is(err, ErrFreed) {
+		t.Fatalf("double free error = %v, want ErrFreed", err)
+	}
+
+	// ErrSegmentBusy: a segment mounted by one enclave refuses a second
+	// mount until it is detached.
+	other, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Destroy()
+	ctxB := other.NewContext()
+	defer ctxB.Close()
+	seg, err := rt.NewSegment(1<<20, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := ctx.Attach(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctxB.Attach(seg); !errors.Is(err, ErrSegmentBusy) {
+		t.Fatalf("double attach error = %v, want ErrSegmentBusy", err)
+	}
+	if err := ctx.Detach(pa); err != nil {
+		t.Fatal(err)
+	}
+	if pb, err := ctxB.Attach(seg); err != nil {
+		t.Fatal(err)
+	} else if err := ctxB.Detach(pb); err != nil {
+		t.Fatal(err)
+	}
+	// The detached pointer is poisoned too.
+	if err := pa.ReadAt(0, make([]byte, 8)); !errors.Is(err, ErrFreed) {
+		t.Fatalf("read after detach error = %v, want ErrFreed", err)
+	}
+}
+
+// ErrPoolStopped: exit-less calls against a closed runtime fail with a
+// matchable sentinel at the pool level.
+func TestPoolStoppedAfterClose(t *testing.T) {
+	rt, err := NewRuntime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encl.Destroy()
+	ctx := encl.NewContext()
+	defer ctx.Close()
+
+	rt.Close()
+	if err := rt.Pool().Call(ctx.Thread(), func(h *HostCtx) {}); !errors.Is(err, ErrPoolStopped) {
+		t.Fatalf("Call on closed runtime = %v, want ErrPoolStopped", err)
+	}
+	if _, err := rt.Pool().CallAsync(ctx.Thread(), func(h *HostCtx) {}); !errors.Is(err, ErrPoolStopped) {
+		t.Fatalf("CallAsync on closed runtime = %v, want ErrPoolStopped", err)
+	}
+
+	// The panicking convenience wrappers surface the closure too.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Exitless on a closed runtime did not panic")
+			}
+		}()
+		ctx.Exitless(func(h *HostCtx) {})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Go on a closed runtime did not panic")
+			}
+		}()
+		ctx.Go(func(h *HostCtx) {})
+	}()
+}

@@ -91,7 +91,7 @@ func Lookup(id string) (Experiment, bool) {
 func orderOf(id string) int {
 	order := []string{
 		"fig1", "tab1", "fig2a", "fig2b",
-		"fig6a", "fig6b", "fig6c",
+		"fig6a", "fig6b", "fig6c", "rpc-async",
 		"fig7a", "fig7b", "tab2", "fig8a", "fig8b", "tab3", "fig9", "pflat",
 		"fig10", "fig11", "tab4",
 		"abl-wb", "abl-link", "abl-pgsz", "abl-evict", "abl-batch",
@@ -175,4 +175,3 @@ func (v *env) resetCounters() {
 
 // perOp converts total cycles to cycles/op.
 func perOp(cycles uint64, ops int) float64 { return float64(cycles) / float64(ops) }
-

@@ -100,8 +100,15 @@ type Model struct {
 	// exit-less RPC ring (two uncached writes to host memory plus an
 	// atomic). RPCPoll is the completion-polling latency observed by
 	// the caller on top of the work performed by the worker.
-	RPCEnqueue uint64
-	RPCPoll    uint64
+	// RPCBatchEnqueue is the marginal cost of each additional descriptor
+	// in a batched submission: the ring-slot claim and cache-line
+	// bookkeeping amortize over the batch, leaving only the descriptor
+	// stores. RPCWake is the latency a sleeping RPC worker pays to come
+	// back from its host-side futex when work arrives.
+	RPCEnqueue      uint64
+	RPCPoll         uint64
+	RPCBatchEnqueue uint64
+	RPCWake         uint64
 
 	// SpinLock is the cost of an uncontended spin-lock acquire/release
 	// pair on an in-EPC lock word.
@@ -137,6 +144,8 @@ func DefaultModel() *Model {
 		SubPageOverhead: 2000,
 		RPCEnqueue:      150,
 		RPCPoll:         200,
+		RPCBatchEnqueue: 40,
+		RPCWake:         300,
 		SpinLock:        60,
 	}
 }

@@ -210,7 +210,9 @@ func (s *Server) Verify(th *sgx.Thread, id, variant uint64) (bool, error) {
 	case SysOCall:
 		th.OCall(func(h *sgx.HostCtx) { s.sock.Recv(h, RequestBytes) })
 	case SysRPC:
-		s.pool.Call(th, func(h *sgx.HostCtx) { s.sock.Recv(h, RequestBytes) })
+		if err := s.pool.Call(th, func(h *sgx.HostCtx) { s.sock.Recv(h, RequestBytes) }); err != nil {
+			return false, err
+		}
 	}
 	// Pull the image out of the untrusted staging buffer (the enclave
 	// reads it while decrypting) and charge the decryption.
@@ -240,7 +242,9 @@ func (s *Server) Verify(th *sgx.Thread, id, variant uint64) (bool, error) {
 	case SysOCall:
 		th.OCall(func(h *sgx.HostCtx) { s.sock.Send(h, responseBytes) })
 	case SysRPC:
-		s.pool.Call(th, func(h *sgx.HostCtx) { s.sock.Send(h, responseBytes) })
+		if err := s.pool.Call(th, func(h *sgx.HostCtx) { s.sock.Send(h, responseBytes) }); err != nil {
+			return false, err
+		}
 	}
 	return accepted, nil
 }

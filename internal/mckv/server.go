@@ -78,7 +78,9 @@ func (s *Server) netCall(th *sgx.Thread, f func(*sgx.HostCtx)) {
 	case SysOCall:
 		th.OCall(f)
 	case SysRPC:
-		s.pool.Call(th, f)
+		if err := s.pool.Call(th, f); err != nil {
+			panic("mckv: RPC pool stopped mid-serve: " + err.Error())
+		}
 	}
 }
 

@@ -210,7 +210,9 @@ func (s *Server) ServeRequest(th *sgx.Thread, keys []uint64) error {
 	case SysOCall:
 		th.OCall(func(h *sgx.HostCtx) { s.sock.Recv(h, n) })
 	case SysRPC:
-		s.cfg.Pool.Call(th, func(h *sgx.HostCtx) { s.sock.Recv(h, n) })
+		if err := s.cfg.Pool.Call(th, func(h *sgx.HostCtx) { s.sock.Recv(h, n) }); err != nil {
+			return fmt.Errorf("pserver: recv: %w", err)
+		}
 	}
 
 	// Pull the payload out of the untrusted staging buffer and decrypt.
@@ -241,7 +243,9 @@ func (s *Server) ServeRequest(th *sgx.Thread, keys []uint64) error {
 	case SysOCall:
 		th.OCall(func(h *sgx.HostCtx) { s.sock.Send(h, ResponseBytes) })
 	case SysRPC:
-		s.cfg.Pool.Call(th, func(h *sgx.HostCtx) { s.sock.Send(h, ResponseBytes) })
+		if err := s.cfg.Pool.Call(th, func(h *sgx.HostCtx) { s.sock.Send(h, ResponseBytes) }); err != nil {
+			return fmt.Errorf("pserver: send: %w", err)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,52 @@
+package rpc
+
+import "eleos/internal/sgx"
+
+// Future is the handle to one asynchronous exit-less call (§3.1: the
+// enclave thread receives a future and keeps computing while the
+// untrusted worker runs the call). The accounting mirrors that overlap:
+// CallAsync charged only the enqueue; Wait charges the residual part of
+// the worker's latency that the caller's compute since submission did
+// not already hide, plus the completion poll.
+//
+// A Future belongs to the thread that submitted it; Wait must be called
+// with that same thread (its clock anchors the overlap computation).
+// Wait is idempotent, and after the first Wait the underlying request is
+// recycled.
+type Future struct {
+	pool   *Pool
+	req    *request
+	work   uint64
+	waited bool
+}
+
+// Done reports whether the delegated call has completed, without
+// blocking and without charging the caller.
+func (f *Future) Done() bool {
+	return f.waited || f.req.done.Load() != 0
+}
+
+// Wait blocks until the call completes and settles the caller's
+// accounting: cycles the caller burned since submission overlap with
+// the worker's execution for free, and only the residual — if any — is
+// charged, as stall time outside the enclave, plus the completion poll.
+func (f *Future) Wait(caller *sgx.Thread) {
+	if f.waited {
+		return
+	}
+	req := f.req
+	for req.done.Load() == 0 {
+		spinWait()
+	}
+	residual := caller.ChargeResidual(req.submitStamp, req.workCycles)
+	caller.ChargeOutside(caller.Platform().Model.RPCPoll)
+	f.pool.waitCycles.Add(residual)
+	f.work = req.workCycles
+	f.waited = true
+	f.req = nil
+	f.pool.putReq(req)
+}
+
+// WorkCycles returns the virtual cycles the worker spent executing the
+// call. Valid after Wait.
+func (f *Future) WorkCycles() uint64 { return f.work }

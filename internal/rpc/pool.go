@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -9,114 +10,344 @@ import (
 	"eleos/internal/sgx"
 )
 
+// ErrStopped is returned by Call, CallAsync and CallBatch when the pool
+// is not running: never started, mid-Stop, or already stopped. Callers
+// racing Stop get a clean error instead of hanging on a request no
+// worker will ever execute.
+var ErrStopped = errors.New("rpc: pool is not running")
+
 // request is one delegated untrusted call. The enclave-side caller spins
 // on done; the worker publishes the virtual cycles the call consumed so
-// the caller can account the synchronous latency it observed.
+// the caller can account the synchronous latency it observed (or, for
+// async submissions, only the part not hidden behind its own compute).
+// Requests are recycled through a sync.Pool; ownership returns to the
+// submitter once done is set.
 type request struct {
-	fn         func(*sgx.HostCtx)
-	workCycles uint64
-	done       atomic.Uint32
+	fn          func(*sgx.HostCtx)
+	submitStamp uint64 // caller's cycle clock just after the enqueue charge
+	workCycles  uint64
+	done        atomic.Uint32
 }
 
 // Stats counts pool activity.
 type Stats struct {
-	Calls     uint64
-	WorkerOps uint64
+	// Calls is the total number of requests executed through the pool,
+	// whatever the submission path (sync, async or batched).
+	Calls      uint64
+	SyncCalls  uint64
+	AsyncCalls uint64
+	// Batches counts CallBatch invocations; BatchedCalls counts the
+	// requests those batches carried.
+	Batches      uint64
+	BatchedCalls uint64
+	WorkerOps    uint64
+	// Steals counts requests a worker took from a sibling's ring.
+	Steals uint64
+	// Sleeps and Wakes trace the backoff ladder: how often a worker
+	// reached the sleep rung, and how often an enqueue had to wake one.
+	Sleeps uint64
+	Wakes  uint64
+	// QueueDepth is the instantaneous number of published-but-undequeued
+	// requests; PeakQueueDepth is its high-water mark.
+	QueueDepth     int64
+	PeakQueueDepth int64
+	// WaitCycles accumulates the residual synchronous latency charged at
+	// Future.Wait / CallBatch collection — the part of the workers' time
+	// the callers could not hide behind their own compute.
+	WaitCycles uint64
 }
 
-// Pool is the untrusted RPC runtime: worker threads polling the shared
-// job ring. Workers run with the CoSRPC cache class of service, so
-// enabling LLC partitioning confines their pollution (§3.1, Fig 6b).
+// Pool lifecycle states.
+const (
+	poolIdle int32 = iota
+	poolRunning
+	poolStopping
+)
+
+// Backoff ladder rungs, in consecutive empty polls: pure busy spinning,
+// then yielding the host CPU between polls, then sleeping until an
+// enqueue wakes the worker.
+const (
+	spinPolls  = 64
+	yieldPolls = 256
+)
+
+// worker is one untrusted poller: its thread, its own ring shard, and
+// the wake channel the sleep rung of the backoff ladder blocks on.
+type worker struct {
+	th       *sgx.Thread
+	ring     *ring
+	wake     chan struct{}
+	sleeping atomic.Bool
+}
+
+// Pool is the untrusted RPC runtime: worker threads polling per-worker
+// job rings, with idle workers stealing from their siblings. Workers run
+// with the CoSRPC cache class of service, so enabling LLC partitioning
+// confines their pollution (§3.1, Fig 6b).
 type Pool struct {
-	plat    *sgx.Platform
-	ring    *ring
-	workers []*sgx.Thread
-	wg      sync.WaitGroup
-	stopped atomic.Bool
-	started bool
+	plat *sgx.Platform
+	ws   []*worker
+	wg   sync.WaitGroup
 
-	calls     atomic.Uint64
-	workerOps atomic.Uint64
+	state    atomic.Int32
+	inflight atomic.Int64 // submitters between their state check and enqueue
+	draining atomic.Bool
+	stopC    chan struct{}
+
+	reqPool sync.Pool
+
+	calls        atomic.Uint64
+	syncCalls    atomic.Uint64
+	asyncCalls   atomic.Uint64
+	batches      atomic.Uint64
+	batchedCalls atomic.Uint64
+	workerOps    atomic.Uint64
+	steals       atomic.Uint64
+	sleeps       atomic.Uint64
+	wakes        atomic.Uint64
+	waitCycles   atomic.Uint64
+	depth        atomic.Int64
+	peakDepth    atomic.Int64
 }
 
-// NewPool creates a pool with the given number of worker threads and a
-// job ring of the given capacity (rounded up to a power of two).
+// NewPool creates a pool with the given number of worker threads, each
+// owning a ring shard. ringCapacity is the total queue capacity; it is
+// split across the shards (each rounded up to a power of two, minimum
+// 16 slots).
 func NewPool(p *sgx.Platform, workers, ringCapacity int) *Pool {
 	if workers <= 0 {
 		workers = 1
 	}
-	capacity := 1
-	for capacity < ringCapacity || capacity < 2*workers {
-		capacity *= 2
+	perShard := 16
+	for perShard < ringCapacity/workers {
+		perShard *= 2
 	}
-	pool := &Pool{plat: p, ring: newRing(capacity)}
+	pool := &Pool{plat: p}
 	for i := 0; i < workers; i++ {
-		pool.workers = append(pool.workers, p.NewHostThread(cache.CoSRPC))
+		pool.ws = append(pool.ws, &worker{
+			th:   p.NewHostThread(cache.CoSRPC),
+			ring: newRing(perShard),
+			wake: make(chan struct{}, 1),
+		})
 	}
 	return pool
 }
 
-// Start launches the worker goroutines. Idempotent.
+// Start launches the worker goroutines. Idempotent while running; a
+// stopped pool can be started again.
 func (p *Pool) Start() {
-	if p.started {
+	if !p.state.CompareAndSwap(poolIdle, poolRunning) {
 		return
 	}
-	p.started = true
-	for _, w := range p.workers {
+	p.draining.Store(false)
+	p.stopC = make(chan struct{})
+	for i := range p.ws {
 		p.wg.Add(1)
-		go p.workerLoop(w)
+		go p.workerLoop(i, p.stopC)
 	}
 }
 
-// Stop shuts the workers down after the ring drains.
+// Stop shuts the workers down deterministically: new submissions are
+// refused with ErrStopped, in-flight publishes are allowed to land, and
+// the workers drain every ring before exiting — so a request that was
+// accepted is always executed and its waiter always completes.
 func (p *Pool) Stop() {
-	if !p.started {
+	if !p.state.CompareAndSwap(poolRunning, poolStopping) {
 		return
 	}
-	p.stopped.Store(true)
+	for p.inflight.Load() != 0 {
+		runtime.Gosched()
+	}
+	p.draining.Store(true)
+	close(p.stopC)
 	p.wg.Wait()
-	p.started = false
-	p.stopped.Store(false)
+	p.state.Store(poolIdle)
 }
 
 // Workers returns the pool's untrusted threads (the harness aggregates
 // their cycle counters into end-to-end numbers).
-func (p *Pool) Workers() []*sgx.Thread { return p.workers }
-
-// Stats returns a snapshot of call counters.
-func (p *Pool) Stats() Stats {
-	return Stats{Calls: p.calls.Load(), WorkerOps: p.workerOps.Load()}
+func (p *Pool) Workers() []*sgx.Thread {
+	ths := make([]*sgx.Thread, len(p.ws))
+	for i, w := range p.ws {
+		ths[i] = w.th
+	}
+	return ths
 }
 
-func (p *Pool) workerLoop(w *sgx.Thread) {
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Calls:          p.calls.Load(),
+		SyncCalls:      p.syncCalls.Load(),
+		AsyncCalls:     p.asyncCalls.Load(),
+		Batches:        p.batches.Load(),
+		BatchedCalls:   p.batchedCalls.Load(),
+		WorkerOps:      p.workerOps.Load(),
+		Steals:         p.steals.Load(),
+		Sleeps:         p.sleeps.Load(),
+		Wakes:          p.wakes.Load(),
+		QueueDepth:     p.depth.Load(),
+		PeakQueueDepth: p.peakDepth.Load(),
+		WaitCycles:     p.waitCycles.Load(),
+	}
+}
+
+// shardOf picks the submission shard for a caller: affinity by thread
+// ID, so a caller's requests stay on one ring and its cache lines, with
+// work stealing rebalancing any skew.
+func (p *Pool) shardOf(caller *sgx.Thread) int {
+	return int(uint64(caller.T.ID()) % uint64(len(p.ws)))
+}
+
+func (p *Pool) getReq(fn func(*sgx.HostCtx), stamp uint64) *request {
+	req, _ := p.reqPool.Get().(*request)
+	if req == nil {
+		req = new(request)
+	}
+	req.fn = fn
+	req.submitStamp = stamp
+	req.workCycles = 0
+	req.done.Store(0)
+	return req
+}
+
+func (p *Pool) putReq(req *request) {
+	req.fn = nil
+	p.reqPool.Put(req)
+}
+
+// submit publishes req on shard s. The depth counter is raised before
+// the descriptor lands in the ring, so no worker can pass its sleep
+// re-check while a publish is in flight — including while the ring is
+// momentarily full — which makes wake-on-enqueue lost-wakeup free.
+func (p *Pool) submit(req *request, s int) error {
+	p.inflight.Add(1)
+	if p.state.Load() != poolRunning {
+		p.inflight.Add(-1)
+		return ErrStopped
+	}
+	p.bumpPeak(p.depth.Add(1))
+	p.ws[s].ring.enqueue(req)
+	p.inflight.Add(-1)
+	p.notify(s)
+	return nil
+}
+
+func (p *Pool) bumpPeak(d int64) {
+	for {
+		cur := p.peakDepth.Load()
+		if d <= cur || p.peakDepth.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// notify wakes sleeping workers after a publish: the target shard's
+// owner first, then — if the backlog justifies it — sleeping siblings,
+// which will find the work by stealing.
+func (p *Pool) notify(s int) {
+	need := p.depth.Load()
+	if need <= 0 {
+		return
+	}
+	if int64(len(p.ws)) < need {
+		need = int64(len(p.ws))
+	}
+	if p.wakeOne(s) {
+		need--
+	}
+	for i := 0; need > 0 && i < len(p.ws); i++ {
+		if i != s && p.wakeOne(i) {
+			need--
+		}
+	}
+}
+
+func (p *Pool) wakeOne(i int) bool {
+	w := p.ws[i]
+	if !w.sleeping.Load() {
+		return false
+	}
+	select {
+	case w.wake <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// dequeueFor pops work for worker i: its own ring first, then a steal
+// sweep over the siblings.
+func (p *Pool) dequeueFor(i int) (req *request, stolen bool) {
+	if req := p.ws[i].ring.dequeue(); req != nil {
+		p.depth.Add(-1)
+		return req, false
+	}
+	n := len(p.ws)
+	for k := 1; k < n; k++ {
+		if req := p.ws[(i+k)%n].ring.dequeue(); req != nil {
+			p.depth.Add(-1)
+			return req, true
+		}
+	}
+	return nil, false
+}
+
+func (p *Pool) workerLoop(i int, stopC chan struct{}) {
 	defer p.wg.Done()
-	ctx := w.HostContext()
+	w := p.ws[i]
+	ctx := w.th.HostContext()
 	idle := 0
 	for {
-		req := p.ring.dequeue()
+		req, stolen := p.dequeueFor(i)
 		if req == nil {
-			if p.stopped.Load() {
-				// Drain check: one more pass in case of a race between
-				// a late enqueue and the stop flag.
-				if req = p.ring.dequeue(); req == nil {
-					return
-				}
-			} else {
-				idle++
-				if idle > 64 {
-					idle = 0
-				}
-				spinWait()
-				continue
+			if p.draining.Load() {
+				// Every ring was empty after the drain flag: done.
+				return
 			}
+			idle++
+			switch {
+			case idle <= spinPolls:
+				// Busy rung: immediate re-poll.
+			case idle <= spinPolls+yieldPolls:
+				runtime.Gosched()
+			default:
+				p.sleep(w, stopC)
+				idle = spinPolls // resume on the yield rung after a wake
+			}
+			continue
 		}
 		idle = 0
-		start := w.T.Cycles()
+		if stolen {
+			p.steals.Add(1)
+		}
+		start := w.th.T.Cycles()
 		req.fn(ctx)
-		req.workCycles = w.T.Cycles() - start
+		req.workCycles = w.th.T.Cycles() - start
 		p.workerOps.Add(1)
 		req.done.Store(1)
 	}
+}
+
+// sleep is the bottom rung of the backoff ladder. The worker registers
+// as sleeping, re-checks the published depth (a submitter raises depth
+// before it could ever need a wake, so this re-check closes the race),
+// and only then blocks until an enqueue or Stop wakes it.
+func (p *Pool) sleep(w *worker, stopC chan struct{}) {
+	w.sleeping.Store(true)
+	p.sleeps.Add(1)
+	if p.depth.Load() > 0 || p.draining.Load() {
+		w.sleeping.Store(false)
+		return
+	}
+	select {
+	case <-w.wake:
+		p.wakes.Add(1)
+		w.th.T.Charge(p.plat.Model.RPCWake)
+	case <-stopC:
+	}
+	w.sleeping.Store(false)
 }
 
 // Call delegates fn to a worker without exiting the enclave. The caller
@@ -124,15 +355,18 @@ func (p *Pool) workerLoop(w *sgx.Thread) {
 // worker's execution (the virtual cycles the work consumed), and the
 // completion-polling overhead — but no EEXIT/EENTER, no TLB flush and no
 // enclave state disturbance. Safe for concurrent use by many enclave
-// threads.
-func (p *Pool) Call(caller *sgx.Thread, fn func(*sgx.HostCtx)) {
-	if !p.started {
-		panic("rpc: Call on a pool that was not started")
+// threads. Returns ErrStopped if the pool is not running.
+func (p *Pool) Call(caller *sgx.Thread, fn func(*sgx.HostCtx)) error {
+	if p.state.Load() != poolRunning {
+		return ErrStopped
 	}
 	m := caller.Platform().Model
 	caller.T.Charge(m.RPCEnqueue)
-	req := &request{fn: fn}
-	p.ring.enqueue(req)
+	req := p.getReq(fn, caller.T.Cycles())
+	if err := p.submit(req, p.shardOf(caller)); err != nil {
+		p.putReq(req)
+		return err
+	}
 	for req.done.Load() == 0 {
 		spinWait()
 	}
@@ -140,6 +374,94 @@ func (p *Pool) Call(caller *sgx.Thread, fn func(*sgx.HostCtx)) {
 	// but it is not enclave execution — the caller merely polls.
 	caller.ChargeOutside(req.workCycles + m.RPCPoll)
 	p.calls.Add(1)
+	p.syncCalls.Add(1)
+	p.putReq(req)
+	return nil
+}
+
+// CallAsync posts fn and returns immediately with a Future. Only the
+// descriptor enqueue is charged here; the caller keeps computing, and
+// Future.Wait later charges just the residual part of the worker's
+// latency that the caller's own compute did not hide (§3.1's
+// asynchronous variant of the exit-less service).
+func (p *Pool) CallAsync(caller *sgx.Thread, fn func(*sgx.HostCtx)) (*Future, error) {
+	if p.state.Load() != poolRunning {
+		return nil, ErrStopped
+	}
+	m := caller.Platform().Model
+	caller.T.Charge(m.RPCEnqueue)
+	req := p.getReq(fn, caller.T.Cycles())
+	if err := p.submit(req, p.shardOf(caller)); err != nil {
+		p.putReq(req)
+		return nil, err
+	}
+	p.calls.Add(1)
+	p.asyncCalls.Add(1)
+	return &Future{pool: p, req: req}, nil
+}
+
+// CallBatch delegates all fns with a single charge-and-publish: the
+// caller pays one full enqueue plus the cheap marginal batch cost per
+// additional descriptor, publishes the whole batch onto its affinity
+// shard (idle siblings steal the overflow), and then waits for all of
+// them. The synchronous latency charged is the batch's parallel
+// makespan across the pool, not the serial sum of the calls. Returns
+// ErrStopped if the pool is not running.
+func (p *Pool) CallBatch(caller *sgx.Thread, fns []func(*sgx.HostCtx)) error {
+	n := len(fns)
+	if n == 0 {
+		return nil
+	}
+	if p.state.Load() != poolRunning {
+		return ErrStopped
+	}
+	m := caller.Platform().Model
+	caller.T.Charge(m.RPCEnqueue + uint64(n-1)*m.RPCBatchEnqueue)
+	stamp := caller.T.Cycles()
+	s := p.shardOf(caller)
+	reqs := make([]*request, n)
+
+	p.inflight.Add(1)
+	if p.state.Load() != poolRunning {
+		p.inflight.Add(-1)
+		return ErrStopped
+	}
+	for i, fn := range fns {
+		req := p.getReq(fn, stamp)
+		reqs[i] = req
+		p.bumpPeak(p.depth.Add(1))
+		p.ws[s].ring.enqueue(req)
+		if i == 0 {
+			p.notify(s) // recruit workers while the rest publishes
+		}
+	}
+	p.inflight.Add(-1)
+	p.notify(s)
+
+	var total, maxWork uint64
+	for _, req := range reqs {
+		for req.done.Load() == 0 {
+			spinWait()
+		}
+		total += req.workCycles
+		if req.workCycles > maxWork {
+			maxWork = req.workCycles
+		}
+	}
+	span := (total + uint64(len(p.ws)) - 1) / uint64(len(p.ws))
+	if span < maxWork {
+		span = maxWork
+	}
+	residual := caller.ChargeResidual(stamp, span)
+	caller.ChargeOutside(m.RPCPoll)
+	p.waitCycles.Add(residual)
+	p.calls.Add(uint64(n))
+	p.batches.Add(1)
+	p.batchedCalls.Add(uint64(n))
+	for _, req := range reqs {
+		p.putReq(req)
+	}
+	return nil
 }
 
 // spinWait yields the host CPU between polls. Virtual time is charged

@@ -1,15 +1,23 @@
 // Package rpc implements Eleos's exit-less system-call service (§3.1 of
-// the paper): enclave threads post untrusted function calls to a shared
-// job queue in host memory and poll for completion, while a pool of
-// untrusted worker threads polls the queue and executes the calls. No
+// the paper): enclave threads post untrusted function calls to job
+// queues in host memory and poll for completion, while a pool of
+// untrusted worker threads polls the queues and executes the calls. No
 // enclave exit happens on the caller's side — no EEXIT/EENTER latency,
 // no TLB flush, no enclave state pollution. The workers' cache footprint
 // can further be confined with CAT partitioning (Platform.LLC).
 //
-// The queue is a real lock-free bounded MPMC ring (sequence-number
-// variant); synchronization between trusted and untrusted contexts is by
-// polling, because enclave threads cannot use OS futexes — exactly the
-// constraint the paper works under.
+// The queue is sharded: each worker owns one lock-free bounded MPMC
+// ring (sequence-number variant), callers submit by thread affinity,
+// and idle workers steal from their siblings. Synchronization between
+// trusted and untrusted contexts is by polling, because enclave threads
+// cannot use OS futexes — exactly the constraint the paper works under.
+// (The workers themselves are host threads and may sleep; the
+// wake-on-enqueue path in Pool models that futex.)
+//
+// Submission comes in three flavours: synchronous Call, future-returning
+// CallAsync whose Wait charges only the latency the caller's own compute
+// did not hide, and CallBatch, which publishes N descriptors under a
+// single amortized charge.
 package rpc
 
 import (

@@ -1,0 +1,145 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"eleos/internal/sgx"
+)
+
+// TestStressMixedSubmissionUnderStop hammers one pool from many enclave
+// threads mixing all three submission flavours while Stop lands
+// mid-flight. Invariant: every accepted request executes exactly once
+// (drain), every refused one fails with ErrStopped, and nothing hangs.
+// Run under -race, this is the pool's memory-safety gauntlet.
+func TestStressMixedSubmissionUnderStop(t *testing.T) {
+	plat := newPlat(t)
+	encl, err := plat.NewEnclave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(plat, 4, 128)
+	pool.Start()
+
+	var executed, accepted atomic.Int64
+	work := func(h *sgx.HostCtx) {
+		h.Syscall(nil)
+		executed.Add(1)
+	}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := encl.NewThread()
+			th.Enter()
+			var futs []*Future
+			drain := func() {
+				for _, f := range futs {
+					f.Wait(th)
+				}
+			}
+			defer drain()
+			fns := []func(*sgx.HostCtx){work, work, work}
+			for i := 0; ; i++ {
+				switch i % 3 {
+				case 0:
+					if err := pool.Call(th, work); err != nil {
+						if !errors.Is(err, ErrStopped) {
+							t.Errorf("Call: %v", err)
+						}
+						return
+					}
+					accepted.Add(1)
+				case 1:
+					f, err := pool.CallAsync(th, work)
+					if err != nil {
+						if !errors.Is(err, ErrStopped) {
+							t.Errorf("CallAsync: %v", err)
+						}
+						return
+					}
+					accepted.Add(1)
+					futs = append(futs, f)
+					if len(futs) > 8 {
+						futs[0].Wait(th)
+						futs = futs[1:]
+					}
+				case 2:
+					if err := pool.CallBatch(th, fns); err != nil {
+						if !errors.Is(err, ErrStopped) {
+							t.Errorf("CallBatch: %v", err)
+						}
+						return
+					}
+					accepted.Add(int64(len(fns)))
+				}
+			}
+		}()
+	}
+
+	time.Sleep(20 * time.Millisecond) // let the callers build a backlog
+	pool.Stop()
+	wg.Wait()
+
+	if executed.Load() != accepted.Load() {
+		t.Fatalf("executed %d of %d accepted requests", executed.Load(), accepted.Load())
+	}
+	if accepted.Load() == 0 {
+		t.Fatal("stress run accepted no requests before Stop")
+	}
+	if st := pool.Stats(); int64(st.WorkerOps) != accepted.Load() {
+		t.Fatalf("WorkerOps = %d, accepted = %d", st.WorkerOps, accepted.Load())
+	}
+
+	// The pool refuses late arrivals after the storm.
+	th := encl.NewThread()
+	th.Enter()
+	if err := pool.Call(th, work); !errors.Is(err, ErrStopped) {
+		t.Fatalf("post-stop Call error = %v, want ErrStopped", err)
+	}
+}
+
+// TestStressRepeatedStopStart cycles the pool's lifecycle under load:
+// each round accepts some work, stops, verifies refusal, and restarts.
+func TestStressRepeatedStopStart(t *testing.T) {
+	plat := newPlat(t)
+	encl, err := plat.NewEnclave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := encl.NewThread()
+	th.Enter()
+	pool := NewPool(plat, 2, 64)
+
+	var executed atomic.Int64
+	work := func(h *sgx.HostCtx) { executed.Add(1) }
+	var want int64
+	for round := 0; round < 10; round++ {
+		pool.Start()
+		for i := 0; i < 50; i++ {
+			if err := pool.Call(th, work); err != nil {
+				t.Fatalf("round %d call %d: %v", round, i, err)
+			}
+			want++
+		}
+		f, err := pool.CallAsync(th, work)
+		if err != nil {
+			t.Fatalf("round %d async: %v", round, err)
+		}
+		want++
+		pool.Stop()
+		f.Wait(th) // accepted before Stop, so drained and waitable after
+		if err := pool.Call(th, work); !errors.Is(err, ErrStopped) {
+			t.Fatalf("round %d: stopped pool accepted a call (err=%v)", round, err)
+		}
+	}
+	if executed.Load() != want {
+		t.Fatalf("executed %d of %d", executed.Load(), want)
+	}
+}

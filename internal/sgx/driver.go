@@ -263,7 +263,10 @@ func (d *Driver) reclaimLocked(th *Thread, faulting *Enclave) {
 	// conservative — the paper observes IPIs even for single-threaded
 	// enclaves, §6.1.2 fn.3). Delivery is deferred to each receiver's
 	// next enclave memory access, where it AEXes and flushes its TLB.
-	for _, vt := range victim.threads {
+	victim.threadMu.Lock()
+	ths := append([]*Thread(nil), victim.threads...)
+	victim.threadMu.Unlock()
+	for _, vt := range ths {
 		vt.pendingIPI.Add(1)
 		d.stats.IPIs++
 		victim.stats.bumpIPIs()

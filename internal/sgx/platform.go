@@ -13,6 +13,7 @@
 package sgx
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -21,6 +22,11 @@ import (
 	"eleos/internal/hostmem"
 	"eleos/internal/phys"
 )
+
+// ErrOutOfEPC marks requests that exceed the machine's processor
+// reserved memory: a platform configured beyond the hardware PRM limit,
+// or an EPC++ frame pool larger than the PRM can pin.
+var ErrOutOfEPC = errors.New("sgx: out of EPC memory")
 
 // Config describes the simulated machine.
 type Config struct {
@@ -62,7 +68,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		cfg.UsablePRMBytes = 93 << 20
 	}
 	if cfg.UsablePRMBytes > phys.EPCLimit {
-		return nil, fmt.Errorf("sgx: usable PRM %d exceeds PRM size %d", cfg.UsablePRMBytes, phys.EPCLimit)
+		return nil, fmt.Errorf("%w: usable PRM %d exceeds PRM size %d", ErrOutOfEPC, cfg.UsablePRMBytes, phys.EPCLimit)
 	}
 	if cfg.HostArenaBytes == 0 {
 		cfg.HostArenaBytes = 16 << 30

@@ -116,6 +116,27 @@ func (th *Thread) ChargeOutside(n uint64) {
 	}
 }
 
+// ChargeResidual accounts an overlapped host-side operation: the
+// operation consumed work cycles and was submitted at submitStamp on
+// this thread's clock. Cycles the thread has burned since then (its own
+// overlapping compute) run concurrently with the operation for free;
+// only the remainder — if any — is still outstanding and is charged as
+// stall time outside the enclave, like ChargeOutside. Returns the
+// residual charged. Call it from the thread that recorded submitStamp;
+// stamps from other clocks yield a zero residual at worst.
+func (th *Thread) ChargeResidual(submitStamp, work uint64) uint64 {
+	var elapsed uint64
+	if now := th.T.Cycles(); now > submitStamp {
+		elapsed = now - submitStamp
+	}
+	if elapsed >= work {
+		return 0
+	}
+	residual := work - elapsed
+	th.ChargeOutside(residual)
+	return residual
+}
+
 // Exit transitions the thread out of the enclave (EEXIT). Architecture
 // requires the enclave's TLB translations to be flushed on exit; the
 // micro-architectural state-restore penalty is charged on the way out so

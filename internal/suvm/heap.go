@@ -36,6 +36,14 @@ var (
 	ErrNotDirect   = errors.New("suvm: direct access on a page-cached allocation")
 	ErrDoubleFree  = errors.New("suvm: free of unallocated spointer")
 	ErrBackingFull = errors.New("suvm: backing store exhausted")
+	// ErrFreed marks use of a spointer whose allocation was freed or
+	// whose segment was detached; Free and Detach poison the spointer so
+	// stale holders fail fast instead of touching recycled memory.
+	ErrFreed = errors.New("suvm: use of a freed or detached allocation")
+	// ErrSegmentBusy marks segment operations blocked by an active user:
+	// attaching a segment that is mounted elsewhere, or detaching one
+	// whose pages are still pinned by linked spointers.
+	ErrSegmentBusy = errors.New("suvm: segment busy")
 )
 
 // EvictionPolicy selects victims in EPC++. Exposing it is one of the
@@ -254,6 +262,10 @@ func New(encl *sgx.Enclave, setup *sgx.Thread, cfg Config) (*Heap, error) {
 		return nil, fmt.Errorf("%w: page cache of %d bytes holds fewer than 4 pages", ErrBadConfig, cfg.PageCacheBytes)
 	}
 	poolPages := (uint64(maxFrames)*h.pageSize + 4095) / 4096
+	if poolPages > uint64(h.plat.Driver.NumFrames()) {
+		return nil, fmt.Errorf("%w: EPC++ of %d bytes needs %d EPC frames, PRM has %d",
+			sgx.ErrOutOfEPC, cfg.PageCacheBytes, poolPages, h.plat.Driver.NumFrames())
+	}
 	h.frameBase = encl.AllocPages(poolPages)
 	encl.Pin(setup, h.frameBase, uint64(maxFrames)*h.pageSize)
 	h.frames = make([]frameMeta, maxFrames)
@@ -364,6 +376,9 @@ func (h *Heap) MallocDirect(n uint64) (*SPtr, error) {
 // range may be recycled by a later Malloc with malloc(3) semantics
 // (contents unspecified).
 func (h *Heap) Free(th *sgx.Thread, p *SPtr) error {
+	if p.h == nil {
+		return fmt.Errorf("%w: double free", ErrFreed)
+	}
 	if p.h != h {
 		return fmt.Errorf("%w: spointer belongs to a different heap", ErrDoubleFree)
 	}
@@ -375,6 +390,7 @@ func (h *Heap) Free(th *sgx.Thread, p *SPtr) error {
 		return ErrDoubleFree
 	}
 	delete(h.allocs, p.base)
+	p.h = nil // poison: further use of the spointer fails with ErrFreed
 	if info.direct {
 		return h.directBS.Free(p.base)
 	}

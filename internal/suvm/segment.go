@@ -98,7 +98,7 @@ func (h *Heap) Attach(th *sgx.Thread, seg *Segment) (*SPtr, error) {
 	seg.mu.Lock()
 	defer seg.mu.Unlock()
 	if seg.mounted {
-		return nil, fmt.Errorf("suvm: segment already mounted by another enclave")
+		return nil, fmt.Errorf("%w: already mounted by another enclave", ErrSegmentBusy)
 	}
 	seg.mounted = true
 
@@ -166,7 +166,7 @@ func (h *Heap) Detach(th *sgx.Thread, p *SPtr) error {
 		if cached {
 			if !h.evictFrameLocked(th, f) {
 				h.faultMu.Unlock()
-				return fmt.Errorf("suvm: segment page %d is pinned by a linked spointer", i)
+				return fmt.Errorf("%w: segment page %d is pinned by a linked spointer", ErrSegmentBusy, i)
 			}
 			h.freeMu.Lock()
 			h.freeFrames = append(h.freeFrames, f)

@@ -2,6 +2,7 @@ package suvm
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -161,10 +162,10 @@ func TestDetachedSpointerPoisoned(t *testing.T) {
 	seg, _ := NewSegment(plat, 1<<20, 4096)
 	p, _ := envs[0].h.Attach(envs[0].th, seg)
 	_ = envs[0].h.Detach(envs[0].th, p)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("detached spointer usable")
-		}
-	}()
-	_ = p.ReadAt(envs[0].th, 0, make([]byte, 8))
+	if err := p.ReadAt(envs[0].th, 0, make([]byte, 8)); !errors.Is(err, ErrFreed) {
+		t.Fatalf("detached spointer read: %v, want ErrFreed", err)
+	}
+	if err := p.WriteAt(envs[0].th, 0, make([]byte, 8)); !errors.Is(err, ErrFreed) {
+		t.Fatalf("detached spointer write: %v, want ErrFreed", err)
+	}
 }

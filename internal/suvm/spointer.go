@@ -67,7 +67,7 @@ func (p *SPtr) Clone() *SPtr {
 // applies this automatically on destruction and page-boundary crossings;
 // Go has no destructors, so holders call it when done (Free does too).
 func (p *SPtr) Unlink(th *sgx.Thread) {
-	if p.frame < 0 {
+	if p.frame < 0 || p.h == nil {
 		return
 	}
 	p.h.release(th, p.frame, p.dirty)
@@ -78,6 +78,9 @@ func (p *SPtr) Unlink(th *sgx.Thread) {
 // Advance moves the offset by delta bytes, unlinking if the new offset
 // leaves the linked page — pointer arithmetic, spointer-style.
 func (p *SPtr) Advance(th *sgx.Thread, delta int64) error {
+	if p.h == nil {
+		return ErrFreed
+	}
 	n := int64(p.off) + delta
 	if n < 0 || uint64(n) > p.size {
 		return fmt.Errorf("%w: advance to %d of %d-byte allocation", ErrOutOfRange, n, p.size)
@@ -91,6 +94,9 @@ func (p *SPtr) Advance(th *sgx.Thread, delta int64) error {
 
 // Seek sets the absolute offset, with the same unlink rule as Advance.
 func (p *SPtr) Seek(th *sgx.Thread, off uint64) error {
+	if p.h == nil {
+		return ErrFreed
+	}
 	if off > p.size {
 		return fmt.Errorf("%w: seek to %d of %d-byte allocation", ErrOutOfRange, off, p.size)
 	}
@@ -115,6 +121,9 @@ func (p *SPtr) Write(th *sgx.Thread, data []byte) error {
 }
 
 func (p *SPtr) accessCurrent(th *sgx.Thread, buf []byte, write bool) error {
+	if p.h == nil {
+		return ErrFreed
+	}
 	if len(buf) == 0 {
 		return nil
 	}
@@ -216,6 +225,9 @@ func (p *SPtr) WriteAt(th *sgx.Thread, off uint64, data []byte) error {
 }
 
 func (p *SPtr) accessAt(th *sgx.Thread, off uint64, buf []byte, write bool) error {
+	if p.h == nil {
+		return ErrFreed
+	}
 	if len(buf) == 0 {
 		return nil
 	}
@@ -249,6 +261,9 @@ func (p *SPtr) PutU64At(th *sgx.Thread, off uint64, v uint64) error {
 // suvm_memcmp of §3.2.3, used for key comparison in containers. Returns
 // the usual -1/0/+1.
 func (p *SPtr) CompareAt(th *sgx.Thread, off uint64, want []byte) (int, error) {
+	if p.h == nil {
+		return 0, ErrFreed
+	}
 	if off+uint64(len(want)) > p.size {
 		return 0, fmt.Errorf("%w: %d-byte compare at offset %d of %d-byte allocation", ErrOutOfRange, len(want), off, p.size)
 	}
@@ -272,6 +287,9 @@ func (p *SPtr) CompareAt(th *sgx.Thread, off uint64, want []byte) (int, error) {
 
 // MemsetAt fills [off, off+n) with b — the suvm_memset of §3.2.3.
 func (p *SPtr) MemsetAt(th *sgx.Thread, off, n uint64, b byte) error {
+	if p.h == nil {
+		return ErrFreed
+	}
 	if off+n > p.size {
 		return fmt.Errorf("%w: %d-byte memset at offset %d of %d-byte allocation", ErrOutOfRange, n, off, p.size)
 	}

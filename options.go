@@ -1,0 +1,51 @@
+package eleos
+
+import "eleos/internal/sgx"
+
+// MachineConfig configures the simulated SGX platform (PRM size, LLC
+// geometry, cost model); the zero value selects the paper's testbed.
+type MachineConfig = sgx.Config
+
+// Option configures a Runtime. Options are applied in order over
+// DefaultConfig, so later options win. A Config value is itself an
+// Option (it replaces the whole configuration), which keeps the
+// original NewRuntime(cfg Config) call sites compiling unchanged:
+//
+//	rt, _ := eleos.NewRuntime(
+//		eleos.WithRPCWorkers(4),
+//		eleos.WithCATWays(4),
+//	)
+type Option interface {
+	applyOption(*Config)
+}
+
+// applyOption makes Config an Option: passing a Config replaces the
+// entire configuration, exactly like the pre-options NewRuntime(cfg).
+func (c Config) applyOption(dst *Config) { *dst = c }
+
+type optionFunc func(*Config)
+
+func (f optionFunc) applyOption(c *Config) { f(c) }
+
+// WithRPCWorkers sizes the untrusted RPC worker pool (and with it the
+// number of ring shards).
+func WithRPCWorkers(n int) Option {
+	return optionFunc(func(c *Config) { c.RPCWorkers = n })
+}
+
+// WithCATWays reserves n LLC ways for the RPC workers via cache
+// allocation technology; 0 disables partitioning.
+func WithCATWays(n int) Option {
+	return optionFunc(func(c *Config) { c.CATWays = n })
+}
+
+// WithMachine selects the simulated machine.
+func WithMachine(m MachineConfig) Option {
+	return optionFunc(func(c *Config) { c.Machine = m })
+}
+
+// WithRPCRing overrides the total RPC queue capacity, split across the
+// worker shards (0 keeps the default of 256 slots).
+func WithRPCRing(capacity int) Option {
+	return optionFunc(func(c *Config) { c.RPCRing = capacity })
+}
