@@ -61,6 +61,19 @@ type (
 	// Segment is inter-enclave shared secure memory (ownership moves
 	// between enclaves by Detach/Attach, without re-encrypting data).
 	Segment = suvm.Segment
+	// EvictionPolicy selects EPC++ eviction victims (§3.2.4: the
+	// application controls the eviction policy).
+	EvictionPolicy = suvm.EvictionPolicy
+	// Swapper is the EPC++ swapper thread; in manual mode drive it with
+	// TickNow for deterministic runs.
+	Swapper = suvm.Swapper
+)
+
+// Available EPC++ eviction policies.
+const (
+	PolicyClock  = suvm.PolicyClock
+	PolicyFIFO   = suvm.PolicyFIFO
+	PolicyRandom = suvm.PolicyRandom
 )
 
 // Config describes a Runtime: the simulated machine plus the untrusted
@@ -147,6 +160,11 @@ type EnclaveConfig struct {
 	// thread that re-balloons EPC++ against driver-reported PRM
 	// pressure at this period.
 	SwapperInterval time.Duration
+	// ManualSwapper creates the swapper in manual mode instead: no
+	// background goroutine, ticks happen only via Enclave.Swapper().
+	// TickNow() — the deterministic choice for benchmarks and tests.
+	// Mutually exclusive with SwapperInterval (manual wins).
+	ManualSwapper bool
 }
 
 // Enclave is a simulated enclave with an attached SUVM heap.
@@ -158,8 +176,17 @@ type Enclave struct {
 }
 
 // NewEnclave creates an enclave and its SUVM heap. The heap's frame
-// pool is pinned using a temporary setup thread.
-func (r *Runtime) NewEnclave(cfg EnclaveConfig) (*Enclave, error) {
+// pool is pinned using a temporary setup thread. Enclave options are
+// applied over cfg in order:
+//
+//	encl, _ := rt.NewEnclave(eleos.EnclaveConfig{PageCacheBytes: 32 << 20},
+//		eleos.WithEvictionPolicy(eleos.PolicyFIFO),
+//		eleos.WithManualSwapper(),
+//	)
+func (r *Runtime) NewEnclave(cfg EnclaveConfig, opts ...EnclaveOption) (*Enclave, error) {
+	for _, o := range opts {
+		o.applyEnclaveOption(&cfg)
+	}
 	if cfg.PageCacheBytes != 0 {
 		cfg.Heap.PageCacheBytes = cfg.PageCacheBytes
 	}
@@ -176,7 +203,10 @@ func (r *Runtime) NewEnclave(cfg EnclaveConfig) (*Enclave, error) {
 		return nil, err
 	}
 	e := &Enclave{rt: r, encl: encl, heap: heap}
-	if cfg.SwapperInterval > 0 {
+	switch {
+	case cfg.ManualSwapper:
+		e.swapper = heap.NewSwapper()
+	case cfg.SwapperInterval > 0:
 		e.swapper = heap.StartSwapper(cfg.SwapperInterval)
 	}
 	return e, nil
@@ -196,6 +226,11 @@ func (e *Enclave) Raw() *sgx.Enclave { return e.encl }
 
 // Heap exposes the enclave's SUVM heap.
 func (e *Enclave) Heap() *suvm.Heap { return e.heap }
+
+// Swapper exposes the enclave's EPC++ swapper (nil unless the enclave
+// was configured with ManualSwapper or SwapperInterval). In manual mode
+// call TickNow to balloon and reclaim at deterministic points.
+func (e *Enclave) Swapper() *Swapper { return e.swapper }
 
 // Stats returns the SUVM counters.
 func (e *Enclave) Stats() HeapStats { return e.heap.Stats() }

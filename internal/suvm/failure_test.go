@@ -3,6 +3,8 @@ package suvm
 import (
 	"errors"
 	"testing"
+
+	"eleos/internal/sgx"
 )
 
 // Failure-path coverage: the ways a SUVM heap can be driven into a
@@ -38,9 +40,10 @@ func TestShrinkBlockedByPinnedFrames(t *testing.T) {
 	}
 }
 
-func TestEPCPPExhaustionPanics(t *testing.T) {
-	// Pinning every frame and then faulting has no legal outcome; the
-	// heap reports it loudly rather than deadlocking.
+func TestEPCPPExhaustionReturnsError(t *testing.T) {
+	// Pinning every frame and then faulting cannot be served; the heap
+	// reports ErrOutOfEPC instead of deadlocking — and recovers once a
+	// pin is dropped.
 	e := newEnv(t, Config{PageCacheBytes: 16 << 10, BackingBytes: 16 << 20}) // 4 frames
 	var ptrs []*SPtr
 	for i := 0; i < 4; i++ {
@@ -49,15 +52,22 @@ func TestEPCPPExhaustionPanics(t *testing.T) {
 		ptrs = append(ptrs, p)
 	}
 	extra, _ := e.h.Malloc(4096)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("fault with every frame pinned did not panic")
-		}
-		for _, p := range ptrs {
-			p.Unlink(e.th)
-		}
-	}()
-	_ = extra.Write(e.th, []byte{2})
+	if err := extra.Write(e.th, []byte{2}); !errors.Is(err, sgx.ErrOutOfEPC) {
+		t.Fatalf("fault with every frame pinned: err = %v, want ErrOutOfEPC", err)
+	}
+	// The heap stays fully usable: unpinning one frame lets the same
+	// access succeed.
+	ptrs[0].Unlink(e.th)
+	if err := extra.Write(e.th, []byte{2}); err != nil {
+		t.Fatalf("fault after unpin: %v", err)
+	}
+	var b [1]byte
+	if err := extra.ReadAt(e.th, 0, b[:]); err != nil || b[0] != 2 {
+		t.Fatalf("read back after recovery: %v, b=%d", err, b[0])
+	}
+	for _, p := range ptrs[1:] {
+		p.Unlink(e.th)
+	}
 }
 
 func TestBackingStoreExhaustion(t *testing.T) {
@@ -116,6 +126,68 @@ func TestCrossHeapFreeRejected(t *testing.T) {
 		t.Fatal("freeing another heap's spointer succeeded")
 	}
 	if err := e1.h.Free(e1.th, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFreeLeavesLinkIntact(t *testing.T) {
+	// Regression: Free used to unlink the spointer before checking it
+	// was a live allocation of this heap, so a rejected Free silently
+	// dropped the caller's pin (and with it the frame's eviction
+	// protection). A failed Free must leave the spointer fully usable.
+	e := newEnv(t, smallCfg())
+	p, err := e.h.Malloc(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(e.th, []byte{7}); err != nil { // links p
+		t.Fatal(err)
+	}
+	if !p.Linked() {
+		t.Fatal("write did not link the spointer")
+	}
+
+	// A foreign-heap Free must not touch the link.
+	other := newEnv(t, smallCfg())
+	if err := other.h.Free(other.th, p); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("foreign free: err = %v, want ErrDoubleFree", err)
+	}
+	if !p.Linked() {
+		t.Fatal("rejected foreign free unlinked the spointer")
+	}
+
+	// A Free of a non-allocation spointer (a mounted segment) on the
+	// owning heap must not touch the link either.
+	seg, err := NewSegment(e.encl.Platform(), 4096, e.h.PageSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := e.h.Attach(e.th, seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Write(e.th, []byte{9}); err != nil { // links sp
+		t.Fatal(err)
+	}
+	if err := e.h.Free(e.th, sp); !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("free of segment spointer: err = %v, want ErrDoubleFree", err)
+	}
+	if !sp.Linked() {
+		t.Fatal("rejected segment free unlinked the spointer")
+	}
+	var b [1]byte
+	if err := sp.Read(e.th, b[:]); err != nil || b[0] != 9 {
+		t.Fatalf("segment spointer after rejected free: %v, b=%d", err, b[0])
+	}
+	sp.Unlink(e.th)
+	if err := e.h.Detach(e.th, sp); err != nil {
+		t.Fatalf("detach after rejected free: %v", err)
+	}
+
+	if err := p.Read(e.th, b[:]); err != nil || b[0] != 7 {
+		t.Fatalf("spointer after rejected frees: %v, b=%d", err, b[0])
+	}
+	if err := e.h.Free(e.th, p); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -2,6 +2,7 @@ package suvm
 
 import (
 	"fmt"
+	"runtime"
 
 	"eleos/internal/seal"
 	"eleos/internal/sgx"
@@ -11,8 +12,9 @@ import (
 // count raised (pinning it against eviction), faulting the page in if it
 // is not resident. This is the unlinked-spointer path: resident hits are
 // the paper's minor faults, misses its major faults. The caller must
-// pair it with release.
-func (h *Heap) acquire(th *sgx.Thread, bsPage uint64) int32 {
+// pair it with release. Fails with sgx.ErrOutOfEPC (wrapped) when every
+// frame is pinned by a linked spointer.
+func (h *Heap) acquire(th *sgx.Thread, bsPage uint64) (int32, error) {
 	h.lockCost(th)
 	h.touchIPT(th, bsPage)
 	sh := h.resident.shard(bsPage)
@@ -23,7 +25,7 @@ func (h *Heap) acquire(th *sgx.Thread, bsPage uint64) int32 {
 		fm.accessed.Store(true)
 		sh.mu.Unlock()
 		h.stats.minorFaults.Add(1)
-		return f
+		return f, nil
 	}
 	sh.mu.Unlock()
 	return h.majorFault(th, bsPage)
@@ -34,7 +36,7 @@ func (h *Heap) acquire(th *sgx.Thread, bsPage uint64) int32 {
 // unlink, §3.2.4).
 func (h *Heap) release(th *sgx.Thread, f int32, dirty bool) {
 	fm := &h.frames[f]
-	sh := h.resident.shard(fm.bsPage)
+	sh := h.resident.shard(fm.bsPage.Load())
 	h.lockCost(th)
 	sh.mu.Lock()
 	if fm.refcnt.Add(-1) < 0 {
@@ -48,49 +50,112 @@ func (h *Heap) release(th *sgx.Thread, f int32, dirty bool) {
 }
 
 // majorFault pages bsPage into EPC++ — entirely inside the enclave: no
-// exit, no TLB flush, no IPIs. Serialized by faultMu, like the paper's
-// prototype serializes page-in on the faulting bucket; concurrent
-// faulters on the same page link to the first winner's frame.
-func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) int32 {
+// exit, no TLB flush, no IPIs. Faults on different pages run fully in
+// parallel; faults on the same page are coalesced through the in-flight
+// table, each faulting page having a single owner whose waiters link to
+// the winner's frame (the paper handles faults concurrently on the
+// faulting threads under per-bucket locks, §4.1). The single lockCost
+// charged at entry models that per-bucket lock; the in-flight bookkeeping
+// rides under it.
+func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) (int32, error) {
 	h.lockCost(th)
-	h.faultMu.Lock()
-	// Recheck under the slow-path lock: another thread may have paged
-	// this page in while we were acquiring it.
-	sh := h.resident.shard(bsPage)
-	sh.mu.Lock()
-	if f, ok := sh.m[bsPage]; ok {
-		fm := &h.frames[f]
-		fm.refcnt.Add(1)
-		fm.accessed.Store(true)
+	// Faults are readers of the resize epoch: ballooning, ResizeTo and
+	// segment attach/detach take it exclusively.
+	h.epoch.RLock()
+	defer h.epoch.RUnlock()
+	for {
+		// Recheck residency: another thread may have paged this page in
+		// while we were reaching the slow path (or while we waited on its
+		// in-flight entry below).
+		sh := h.resident.shard(bsPage)
+		sh.mu.Lock()
+		if f, ok := sh.m[bsPage]; ok {
+			fm := &h.frames[f]
+			fm.refcnt.Add(1)
+			fm.accessed.Store(true)
+			sh.mu.Unlock()
+			h.stats.minorFaults.Add(1)
+			return f, nil
+		}
 		sh.mu.Unlock()
-		h.faultMu.Unlock()
-		h.stats.minorFaults.Add(1)
-		return f
+
+		is := h.inflight.shard(bsPage)
+		is.mu.Lock()
+		if op, ok := is.m[bsPage]; ok {
+			// Someone else owns this page's fault (or is evicting it):
+			// wait, pay the queueing delay, and retry — on a coalesced
+			// page-in the retry is a minor fault onto the winner's frame.
+			is.mu.Unlock()
+			h.waitInflight(th, op)
+			continue
+		}
+		op := &inflightOp{done: make(chan struct{})}
+		is.m[bsPage] = op
+		is.mu.Unlock()
+
+		// Yield the host CPU once before the heavy page-in work. The
+		// page-in occupies this thread for thousands of virtual cycles;
+		// without a yield point a host with few cores would run it to
+		// completion before any virtually-concurrent faulter of the same
+		// page could reach the in-flight entry and queue up. Wall-clock
+		// scheduling is a simulation artifact — this costs no virtual
+		// cycles.
+		runtime.Gosched()
+
+		c0 := th.T.Cycles()
+		f, err := h.takeFrame(th)
+		if err != nil {
+			h.finishInflight(th, is, bsPage, op)
+			return -1, err
+		}
+		h.pageIn(th, bsPage, f)
+		h.stats.faultCycles.Add(th.T.Cycles() - c0)
+		fm := &h.frames[f]
+		fm.bsPage.Store(bsPage)
+		fm.refcnt.Store(1)
+		fm.accessed.Store(true)
+		fm.dirty.Store(false)
+
+		sh.mu.Lock()
+		sh.m[bsPage] = f
+		sh.mu.Unlock()
+		h.finishInflight(th, is, bsPage, op)
+		h.stats.majorFaults.Add(1)
+		return f, nil
 	}
-	sh.mu.Unlock()
+}
 
-	c0 := th.T.Cycles()
-	f := h.takeFrameLocked(th)
-	h.pageIn(th, bsPage, f)
-	h.stats.faultCycles.Add(th.T.Cycles() - c0)
-	fm := &h.frames[f]
-	fm.bsPage = bsPage
-	fm.refcnt.Store(1)
-	fm.accessed.Store(true)
-	fm.dirty.Store(false)
+// waitInflight blocks until the page's in-flight operation completes and
+// charges the waiter the single-server queueing delay — virtual time
+// advances to the owner's completion timestamp, exactly as the SGX
+// driver's busyUntil model charges hardware faults that queue behind an
+// earlier fault. Page-in waiters are the coalesced faults of §4.1.
+func (h *Heap) waitInflight(th *sgx.Thread, op *inflightOp) {
+	<-op.done
+	if now := th.T.Cycles(); op.doneAt > now {
+		wait := op.doneAt - now
+		th.T.Charge(wait)
+		h.stats.faultWaitCycles.Add(wait)
+	}
+	if !op.evicting {
+		h.stats.faultsCoalesced.Add(1)
+	}
+}
 
-	sh.mu.Lock()
-	sh.m[bsPage] = f
-	sh.mu.Unlock()
-	h.faultMu.Unlock()
-	h.stats.majorFaults.Add(1)
-	return f
+// finishInflight stamps the owner's completion time, unpublishes the
+// entry and wakes the waiters.
+func (h *Heap) finishInflight(th *sgx.Thread, is *inflightShard, bsPage uint64, op *inflightOp) {
+	op.doneAt = th.T.Cycles()
+	is.mu.Lock()
+	delete(is.m, bsPage)
+	is.mu.Unlock()
+	close(op.done)
 }
 
 // pageIn fills frame f with the contents of bsPage: decrypt-and-verify
 // from the backing store if a sealed copy exists, zero-fill otherwise
-// (fresh allocation). Called with faultMu held; the frame is not yet
-// published in the resident table.
+// (fresh allocation). Called with the page's in-flight entry held; the
+// frame is not yet published in the resident table.
 func (h *Heap) pageIn(th *sgx.Thread, bsPage uint64, f int32) {
 	h.lockCost(th)
 	h.touchMeta(th, bsPage, false)
@@ -125,110 +190,97 @@ func (h *Heap) pageIn(th *sgx.Thread, bsPage uint64, f int32) {
 	h.stats.pageIns.Add(1)
 }
 
-// takeFrameLocked pops a free frame, evicting a victim first when the
-// pool is dry. Called with faultMu held.
-func (h *Heap) takeFrameLocked(th *sgx.Thread) int32 {
-	h.freeMu.Lock()
-	if n := len(h.freeFrames); n > 0 {
-		f := h.freeFrames[n-1]
-		h.freeFrames = h.freeFrames[:n-1]
-		h.freeMu.Unlock()
-		return f
-	}
-	h.freeMu.Unlock()
-	for attempt := 0; attempt < 3; attempt++ {
-		v := h.pickVictimLocked()
+// evictAttempts bounds consecutive empty victim scans before takeFrame
+// declares EPC++ exhausted.
+const evictAttempts = 3
+
+// takeFrame supplies one free frame for a page-in: pop the sharded free
+// pool, else evict a victim. Races with other takers are resolved page
+// by page — a victim that another thread is already evicting is skipped
+// (after waiting out the conflict), a victim that got pinned or remapped
+// since selection costs one retry. Fails with sgx.ErrOutOfEPC (wrapped)
+// only when victim selection finds no unpinned frame at all.
+func (h *Heap) takeFrame(th *sgx.Thread) (int32, error) {
+	exhausted := 0
+	for {
+		if f, ok := h.free.take(); ok {
+			return f, nil
+		}
+		v := h.ev.pick(h)
 		if v < 0 {
-			break
+			exhausted++
+			if exhausted >= evictAttempts {
+				return -1, fmt.Errorf("suvm: EPC++ exhausted — every frame is pinned by a linked spointer: %w", sgx.ErrOutOfEPC)
+			}
+			continue
 		}
-		if h.evictFrameLocked(th, v) {
-			return v
+		exhausted = 0
+		ok, busy := h.evictFrame(th, v)
+		if ok {
+			return v, nil
+		}
+		if busy != nil {
+			// Another thread is mid-eviction on this victim's page and
+			// keeps the frame; wait out the conflict and pick elsewhere.
+			h.waitInflight(th, busy)
 		}
 	}
-	panic("suvm: EPC++ exhausted — every frame is pinned by a linked spointer")
 }
 
-// pickVictimLocked selects an eviction victim under the configured
-// policy. Returns -1 when no frame is evictable. Reference counts are
-// read racily here; evictFrameLocked re-verifies under the shard lock.
-func (h *Heap) pickVictimLocked() int32 {
-	switch h.cfg.Policy {
-	case PolicyFIFO:
-		for i := 0; i < h.activeFrames; i++ {
-			h.fifoHand = (h.fifoHand + 1) % h.activeFrames
-			fm := &h.frames[h.fifoHand]
-			if !fm.disabled && fm.bsPage != noBSPage && fm.refcnt.Load() == 0 {
-				return int32(h.fifoHand)
-			}
-		}
-	case PolicyRandom:
-		for i := 0; i < 4*h.activeFrames; i++ {
-			h.rng ^= h.rng << 13
-			h.rng ^= h.rng >> 7
-			h.rng ^= h.rng << 17
-			f := int(h.rng % uint64(h.activeFrames))
-			fm := &h.frames[f]
-			if !fm.disabled && fm.bsPage != noBSPage && fm.refcnt.Load() == 0 {
-				return int32(f)
-			}
-		}
-	default: // PolicyClock: second chance via the accessed bit.
-		for i := 0; i < 2*h.activeFrames; i++ {
-			h.clockHand = (h.clockHand + 1) % h.activeFrames
-			fm := &h.frames[h.clockHand]
-			if fm.disabled || fm.bsPage == noBSPage || fm.refcnt.Load() != 0 {
-				continue
-			}
-			if fm.accessed.Swap(false) {
-				continue
-			}
-			return int32(h.clockHand)
-		}
-		// Second chance exhausted: take the first unpinned frame.
-		for i := 0; i < h.activeFrames; i++ {
-			h.clockHand = (h.clockHand + 1) % h.activeFrames
-			fm := &h.frames[h.clockHand]
-			if !fm.disabled && fm.bsPage != noBSPage && fm.refcnt.Load() == 0 {
-				return int32(h.clockHand)
-			}
-		}
-	}
-	return -1
-}
-
-// evictFrameLocked evicts frame f from EPC++: unmap it, then write the
-// page back to the sealed backing store — unless it is clean and a valid
-// sealed copy already exists, in which case it is simply dropped (the
-// write-back avoidance optimization of §3.2.4, impossible under SGX's
-// EWB). Returns false if the frame became pinned since victim selection.
-// Called with faultMu held.
-func (h *Heap) evictFrameLocked(th *sgx.Thread, f int32) bool {
+// evictFrame evicts frame f from EPC++: claim the page in the in-flight
+// table (excluding concurrent faults and evictions of the same page),
+// unmap it, then write the page back to the sealed backing store —
+// unless it is clean and a valid sealed copy already exists, in which
+// case it is simply dropped (the write-back avoidance optimization of
+// §3.2.4, impossible under SGX's EWB). The in-flight entry is held
+// across the write-back, so a concurrent fault on the page waits for
+// the sealed bytes to be complete before paging them back in — the
+// ordering the old global fault lock used to provide.
+//
+// Returns (false, op) when the page is already owned by another
+// in-flight operation, and (false, nil) when the frame got pinned or
+// remapped since victim selection.
+func (h *Heap) evictFrame(th *sgx.Thread, f int32) (bool, *inflightOp) {
 	fm := &h.frames[f]
-	bsPage := fm.bsPage
+	bsPage := fm.bsPage.Load()
+	if bsPage == noBSPage {
+		return false, nil
+	}
+	is := h.inflight.shard(bsPage)
+	is.mu.Lock()
+	if other, ok := is.m[bsPage]; ok {
+		is.mu.Unlock()
+		return false, other
+	}
+	op := &inflightOp{done: make(chan struct{}), evicting: true}
+	is.m[bsPage] = op
+	is.mu.Unlock()
+
 	sh := h.resident.shard(bsPage)
 	h.lockCost(th)
 	sh.mu.Lock()
-	if fm.refcnt.Load() != 0 {
+	cur, mapped := sh.m[bsPage]
+	if !mapped || cur != f || fm.bsPage.Load() != bsPage || fm.refcnt.Load() != 0 {
+		// Lost the race: pinned, already evicted, or the frame was
+		// recycled for another page since selection.
 		sh.mu.Unlock()
-		return false
+		h.finishInflight(th, is, bsPage, op)
+		return false, nil
 	}
 	delete(sh.m, bsPage)
 	dirty := fm.dirty.Load()
 	fm.dirty.Store(false)
-	fm.bsPage = noBSPage
+	fm.bsPage.Store(noBSPage)
 	sh.mu.Unlock()
 
-	// From here the page is unmapped; a concurrent fault on bsPage will
-	// block on faultMu (held by us) and then page in from the backing
-	// store, so the write-back below must complete first — it does,
-	// synchronously.
 	if dirty || h.cfg.WriteBackClean {
 		h.writeBack(th, bsPage, f)
 	} else {
 		h.stats.cleanDrops.Add(1)
 	}
 	h.stats.evictions.Add(1)
-	return true
+	h.finishInflight(th, is, bsPage, op)
+	return true, nil
 }
 
 // writeBack seals the frame contents with a fresh nonce and stores the
@@ -258,8 +310,9 @@ func (h *Heap) writeBack(th *sgx.Thread, bsPage uint64, f int32) {
 
 // access is the positioned, stays-unlinked data path used by containers
 // (and by spointer accesses spanning a page boundary): each touched page
-// is transiently pinned, copied through, and released.
-func (h *Heap) access(th *sgx.Thread, addr uint64, buf []byte, write bool) {
+// is transiently pinned, copied through, and released. On error the
+// copy stops at the failing page; earlier pages have been transferred.
+func (h *Heap) access(th *sgx.Thread, addr uint64, buf []byte, write bool) error {
 	for len(buf) > 0 {
 		bsPage := h.bsPageOf(addr)
 		pageOff := addr & (h.pageSize - 1)
@@ -267,7 +320,10 @@ func (h *Heap) access(th *sgx.Thread, addr uint64, buf []byte, write bool) {
 		if n > len(buf) {
 			n = len(buf)
 		}
-		f := h.acquire(th, bsPage)
+		f, err := h.acquire(th, bsPage)
+		if err != nil {
+			return err
+		}
 		if write {
 			th.Write(h.frameVaddr(f)+pageOff, buf[:n])
 		} else {
@@ -277,6 +333,7 @@ func (h *Heap) access(th *sgx.Thread, addr uint64, buf []byte, write bool) {
 		addr += uint64(n)
 		buf = buf[n:]
 	}
+	return nil
 }
 
 // zeroBuf backs zero-fill page-ins for every supported page size.

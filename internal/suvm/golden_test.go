@@ -1,0 +1,84 @@
+package suvm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// goldenWorkload runs a fixed seeded single-threaded paging workload —
+// random 4K accesses over a working set 4x EPC++, reads and writes,
+// exercising major faults, eviction, write-back and clean drops — and
+// returns a fingerprint of the virtual clock and every paging counter.
+func goldenWorkload(t *testing.T, pol EvictionPolicy) [6]uint64 {
+	t.Helper()
+	cfg := Config{PageCacheBytes: 1 << 20, BackingBytes: 64 << 20, Policy: pol}
+	e := newEnv(t, cfg)
+	p, err := e.h.Malloc(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for off := uint64(0); off < p.Size(); off += 4096 {
+		if err := p.WriteAt(e.th, off, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(271828))
+	for i := 0; i < 3000; i++ {
+		off := uint64(rng.Intn(int(p.Size()/4096))) * 4096
+		var err error
+		if i%3 == 0 {
+			err = p.WriteAt(e.th, off, buf)
+		} else {
+			err = p.ReadAt(e.th, off, buf)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.h.Stats()
+	return [6]uint64{
+		e.th.T.Cycles(),
+		st.MajorFaults,
+		st.MinorFaults,
+		st.Evictions,
+		st.WriteBacks,
+		st.FaultCycles,
+	}
+}
+
+// Golden fingerprints captured from the pre-refactor (global-faultMu)
+// SUVM engine at commit bd759c5. The concurrent fault pipeline must
+// leave the single-threaded virtual-cycle accounting bit-identical:
+// same charge sequence, same victim selection, same frame-allocation
+// order. Any divergence here means single-threaded benches (fig7a,
+// fig8a/b, tab3, pflat) are no longer comparable to earlier runs.
+var goldenFingerprints = map[EvictionPolicy][6]uint64{
+	PolicyClock:  {57432604, 3282, 742, 3026, 1826, 38053224},
+	PolicyFIFO:   {57501468, 3276, 748, 3020, 1840, 38122448},
+	PolicyRandom: {56619822, 3234, 790, 2978, 1785, 37235072},
+}
+
+func TestSingleThreadCyclesMatchSeed(t *testing.T) {
+	for pol, want := range goldenFingerprints {
+		pol, want := pol, want
+		t.Run(pol.String(), func(t *testing.T) {
+			got := goldenWorkload(t, pol)
+			if got != want {
+				t.Fatalf("single-threaded fingerprint diverged from seed:\n got  %v\n want %v\n(fields: cycles, major, minor, evictions, writebacks, faultCycles)", got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenPrint prints the current fingerprints; used to (re)capture
+// the constants above when the cost model itself changes intentionally.
+func TestGoldenPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capture helper")
+	}
+	for _, pol := range []EvictionPolicy{PolicyClock, PolicyFIFO, PolicyRandom} {
+		fmt.Printf("%s: %v\n", pol, goldenWorkload(t, pol))
+	}
+}

@@ -167,15 +167,18 @@ type Heap struct {
 	frames       []frameMeta
 	activeFrames int
 
-	freeMu     sync.Mutex
-	freeFrames []int32
-
-	// faultMu serializes the paging slow path (major faults, eviction,
-	// resize); the linked data path never takes it.
-	faultMu   sync.Mutex
-	clockHand int
-	fifoHand  int
-	rng       uint64
+	// The fault pipeline: faults on different pages proceed fully in
+	// parallel. free supplies frames from sharded pools, ev selects
+	// victims under its own policy lock, inflight gives each faulting or
+	// evicting page a single owner (same-page faulters wait and coalesce
+	// onto the winner's frame). epoch is the resize epoch: faults take it
+	// shared, ResizeTo/BalloonTick/Attach/Detach take it exclusively, so
+	// capacity changes see a quiesced pipeline without stalling faults
+	// the rest of the time. The linked data path takes none of this.
+	free     *framePool
+	ev       evictor
+	inflight *inflightTable
+	epoch    sync.RWMutex
 
 	resident *residentTable
 	meta     *metaTable
@@ -227,7 +230,8 @@ func New(encl *sgx.Enclave, setup *sgx.Thread, cfg Config) (*Heap, error) {
 		subsPer:  cfg.PageSize / cfg.SubPageSize,
 		allocs:   make(map[uint64]allocInfo),
 		metaBase: make(map[uint64]uint64),
-		rng:      cfg.RandomSeed,
+		ev:       newEvictor(cfg.Policy, cfg.RandomSeed),
+		inflight: newInflightTable(),
 		resident: newResidentTable(),
 		meta:     newMetaTable(),
 		nextSegP: segPageBase,
@@ -270,10 +274,9 @@ func New(encl *sgx.Enclave, setup *sgx.Thread, cfg Config) (*Heap, error) {
 	encl.Pin(setup, h.frameBase, uint64(maxFrames)*h.pageSize)
 	h.frames = make([]frameMeta, maxFrames)
 	h.activeFrames = maxFrames
-	h.freeFrames = make([]int32, 0, maxFrames)
-	for i := maxFrames - 1; i >= 0; i-- {
-		h.frames[i].bsPage = noBSPage
-		h.freeFrames = append(h.freeFrames, int32(i))
+	h.free = newFramePool(maxFrames)
+	for i := range h.frames {
+		h.frames[i].bsPage.Store(noBSPage)
 	}
 
 	// Inverse page table region: one entry per EPC++ frame, double
@@ -300,14 +303,17 @@ const segPageBase = uint64(1) << 40
 // the paper's per-page reference count of linked spointers: frames with
 // refcnt > 0 are pinned in EPC++ and skipped by eviction.
 type frameMeta struct {
-	bsPage uint64
+	// bsPage is written under the page's resident-table shard lock (or
+	// the in-flight entry during a page-in) but read optimistically by
+	// victim selection, hence atomic like refcnt.
+	bsPage atomic.Uint64
 	// refcnt is mutated only under the bsPage's resident-table shard
 	// lock (so check-then-evict stays atomic) but read optimistically by
 	// victim selection, hence the atomic type.
 	refcnt   atomic.Int32
 	accessed atomic.Bool // clock reference bit
-	dirty    atomic.Bool // set by writers; consumed under faultMu at eviction
-	disabled bool        // removed from EPC++ by ballooning (under faultMu)
+	dirty    atomic.Bool // set by writers; consumed under the shard lock at eviction
+	disabled bool        // removed from EPC++ by ballooning (under the exclusive resize epoch)
 }
 
 const iptEntryBytes = 16
@@ -382,13 +388,16 @@ func (h *Heap) Free(th *sgx.Thread, p *SPtr) error {
 	if p.h != h {
 		return fmt.Errorf("%w: spointer belongs to a different heap", ErrDoubleFree)
 	}
-	p.Unlink(th)
+	// Validate before mutating: the spointer must be a live allocation of
+	// this heap before its link state is touched, so a bad Free (segment
+	// spointer, interior pointer) leaves the spointer fully usable.
 	h.allocMu.Lock()
 	defer h.allocMu.Unlock()
 	info, ok := h.allocs[p.base]
 	if !ok {
 		return ErrDoubleFree
 	}
+	p.Unlink(th)
 	delete(h.allocs, p.base)
 	p.h = nil // poison: further use of the spointer fails with ErrFreed
 	if info.direct {
@@ -405,8 +414,8 @@ func (h *Heap) ResetStats() { h.stats.reset() }
 
 // ActiveFrames reports the current EPC++ capacity in pages.
 func (h *Heap) ActiveFrames() int {
-	h.faultMu.Lock()
-	defer h.faultMu.Unlock()
+	h.epoch.RLock()
+	defer h.epoch.RUnlock()
 	return h.activeFrames
 }
 

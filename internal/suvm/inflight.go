@@ -1,0 +1,48 @@
+package suvm
+
+import "sync"
+
+// inflightTable is the per-page fault coordination table: every page-in
+// and every eviction registers the backing-store page here for its
+// duration, giving each page a single owner. Concurrent faulters on the
+// same page wait on the owner's entry and coalesce onto its frame
+// instead of repeating the page-in; faults and evictions of the same
+// page exclude each other, which restores the write-back ordering the
+// old global fault lock provided (a page's sealed bytes are never read
+// while its write-back is still in progress). Faults on different pages
+// never meet here at all — the table is sharded like the resident
+// table, and entries on distinct pages are independent.
+type inflightTable struct {
+	shards [tableShards]inflightShard
+}
+
+type inflightShard struct {
+	mu sync.Mutex
+	m  map[uint64]*inflightOp
+}
+
+// inflightOp is one in-progress page-in or eviction. The owner fills
+// doneAt (its virtual clock at completion) before closing done, so
+// waiters observe it with the usual channel happens-before edge.
+type inflightOp struct {
+	done     chan struct{}
+	evicting bool // eviction entry: waiters retry, nothing to coalesce onto
+	// doneAt is the owner's virtual-cycle timestamp when the operation
+	// completed. Waiters are charged max(0, doneAt - now): the same
+	// single-server queueing rule the SGX driver's busyUntil model uses,
+	// so same-page contention costs virtual time while disjoint-page
+	// parallelism stays free.
+	doneAt uint64
+}
+
+func newInflightTable() *inflightTable {
+	t := &inflightTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*inflightOp)
+	}
+	return t
+}
+
+func (t *inflightTable) shard(bsPage uint64) *inflightShard {
+	return &t.shards[bsPage%tableShards]
+}

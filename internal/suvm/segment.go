@@ -110,6 +110,10 @@ func (h *Heap) Attach(th *sgx.Thread, seg *Segment) (*SPtr, error) {
 	h.segMu.Unlock()
 
 	// Import the travelling crypto metadata into the heap's tables.
+	// Mounting is an exclusive phase of the fault pipeline, like resize:
+	// no fault observes a half-imported segment.
+	h.epoch.Lock()
+	defer h.epoch.Unlock()
 	for i := uint64(0); i < pages; i++ {
 		if !seg.meta[i].present {
 			continue
@@ -155,8 +159,10 @@ func (h *Heap) Detach(th *sgx.Thread, p *SPtr) error {
 	}
 
 	// Evict every cached page (dirty ones are re-sealed in place with
-	// the segment's key), then export metadata.
-	h.faultMu.Lock()
+	// the segment's key), then export metadata. Unmounting is an
+	// exclusive phase of the fault pipeline: in-flight faults drain
+	// first, and none start until the segment is fully exported.
+	h.epoch.Lock()
 	for i := uint64(0); i < m.pages; i++ {
 		bsPage := first + i
 		sh := h.resident.shard(bsPage)
@@ -164,16 +170,15 @@ func (h *Heap) Detach(th *sgx.Thread, p *SPtr) error {
 		f, cached := sh.m[bsPage]
 		sh.mu.Unlock()
 		if cached {
-			if !h.evictFrameLocked(th, f) {
-				h.faultMu.Unlock()
+			ok, _ := h.evictFrame(th, f)
+			if !ok {
+				h.epoch.Unlock()
 				return fmt.Errorf("%w: segment page %d is pinned by a linked spointer", ErrSegmentBusy, i)
 			}
-			h.freeMu.Lock()
-			h.freeFrames = append(h.freeFrames, f)
-			h.freeMu.Unlock()
+			h.free.put(f)
 		}
 	}
-	h.faultMu.Unlock()
+	h.epoch.Unlock()
 
 	for i := uint64(0); i < m.pages; i++ {
 		bsPage := first + i

@@ -157,13 +157,15 @@ func (p *SPtr) accessCurrent(th *sgx.Thread, buf []byte, write bool) error {
 	if !withinPage {
 		// Spans pages: go through the transient path, staying unlinked.
 		p.Unlink(th)
-		h.access(th, addr, buf, write)
-		return nil
+		return h.access(th, addr, buf, write)
 	}
 	// Unlinked single-page access: take the pin and keep it (link).
 	p.Unlink(th)
 	bsPage := h.bsPageOf(addr)
-	f := h.acquire(th, bsPage)
+	f, err := h.acquire(th, bsPage)
+	if err != nil {
+		return err
+	}
 	p.frame = f
 	p.linkedPage = bsPage
 	fv := h.frameVaddr(f) + pageOff
@@ -237,8 +239,7 @@ func (p *SPtr) accessAt(th *sgx.Thread, off uint64, buf []byte, write bool) erro
 	if p.direct {
 		return p.h.directAccess(th, p.base+off, buf, write)
 	}
-	p.h.access(th, p.base+off, buf, write)
-	return nil
+	return p.h.access(th, p.base+off, buf, write)
 }
 
 // U64At reads a little-endian uint64 at an absolute offset.

@@ -4,16 +4,26 @@ import "sync/atomic"
 
 // Stats holds the heap's atomic event counters.
 type Stats struct {
-	majorFaults  atomic.Uint64
-	minorFaults  atomic.Uint64
-	pageIns      atomic.Uint64
-	evictions    atomic.Uint64
-	writeBacks   atomic.Uint64
-	cleanDrops   atomic.Uint64
-	directReads  atomic.Uint64
-	directWrites atomic.Uint64
-	resizes      atomic.Uint64
-	faultCycles  atomic.Uint64
+	majorFaults     atomic.Uint64
+	minorFaults     atomic.Uint64
+	pageIns         atomic.Uint64
+	evictions       atomic.Uint64
+	writeBacks      atomic.Uint64
+	cleanDrops      atomic.Uint64
+	directReads     atomic.Uint64
+	directWrites    atomic.Uint64
+	resizes         atomic.Uint64
+	faultCycles     atomic.Uint64
+	faultsCoalesced atomic.Uint64
+	faultWaitCycles atomic.Uint64
+	evictScans      atomic.Uint64
+	evictScanFrames atomic.Uint64
+}
+
+// noteScan records one victim-selection pass that examined n frames.
+func (s *Stats) noteScan(n int) {
+	s.evictScans.Add(1)
+	s.evictScanFrames.Add(uint64(n))
 }
 
 // StatsSnapshot is a point-in-time copy of the counters.
@@ -44,20 +54,38 @@ type StatsSnapshot struct {
 	// access; FaultCycles/MajorFaults is directly comparable to the
 	// paper's §6.1.2 software-fault latencies.
 	FaultCycles uint64
+	// FaultsCoalesced counts same-page faults that waited on another
+	// thread's in-flight page-in and linked to the winner's frame
+	// instead of repeating the work (they also count as MinorFaults).
+	FaultsCoalesced uint64
+	// FaultWaitCycles is the total queueing delay charged to threads
+	// that waited on another thread's in-flight page-in or eviction of
+	// the same page — the virtual-time cost of same-page contention
+	// (zero in any single-threaded run).
+	FaultWaitCycles uint64
+	// EvictScans counts victim-selection passes of the configured
+	// eviction policy, and EvictScanFrames the frames they examined;
+	// EvictScanFrames/EvictScans is the policy's mean scan length.
+	EvictScans      uint64
+	EvictScanFrames uint64
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		MajorFaults:  s.majorFaults.Load(),
-		MinorFaults:  s.minorFaults.Load(),
-		PageIns:      s.pageIns.Load(),
-		Evictions:    s.evictions.Load(),
-		WriteBacks:   s.writeBacks.Load(),
-		CleanDrops:   s.cleanDrops.Load(),
-		DirectReads:  s.directReads.Load(),
-		DirectWrites: s.directWrites.Load(),
-		Resizes:      s.resizes.Load(),
-		FaultCycles:  s.faultCycles.Load(),
+		MajorFaults:     s.majorFaults.Load(),
+		MinorFaults:     s.minorFaults.Load(),
+		PageIns:         s.pageIns.Load(),
+		Evictions:       s.evictions.Load(),
+		WriteBacks:      s.writeBacks.Load(),
+		CleanDrops:      s.cleanDrops.Load(),
+		DirectReads:     s.directReads.Load(),
+		DirectWrites:    s.directWrites.Load(),
+		Resizes:         s.resizes.Load(),
+		FaultCycles:     s.faultCycles.Load(),
+		FaultsCoalesced: s.faultsCoalesced.Load(),
+		FaultWaitCycles: s.faultWaitCycles.Load(),
+		EvictScans:      s.evictScans.Load(),
+		EvictScanFrames: s.evictScanFrames.Load(),
 	}
 }
 
@@ -72,4 +100,8 @@ func (s *Stats) reset() {
 	s.directWrites.Store(0)
 	s.resizes.Store(0)
 	s.faultCycles.Store(0)
+	s.faultsCoalesced.Store(0)
+	s.faultWaitCycles.Store(0)
+	s.evictScans.Store(0)
+	s.evictScanFrames.Store(0)
 }

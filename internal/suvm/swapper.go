@@ -15,7 +15,9 @@ import (
 // driver; growing re-pins previously released pages. This is the
 // operation the paper's swapper thread performs when the driver reports
 // PRM pressure (§3.3) — and, unlike the paper's prototype (§4.2, which
-// fixed the size at initialization), it works dynamically.
+// fixed the size at initialization), it works dynamically. Resizing is
+// an exclusive phase of the fault pipeline: it waits for in-flight
+// faults to drain and blocks new ones for its (short) duration.
 func (h *Heap) ResizeTo(th *sgx.Thread, targetBytes uint64) error {
 	target := int(targetBytes / h.pageSize)
 	if target < 4 {
@@ -24,8 +26,8 @@ func (h *Heap) ResizeTo(th *sgx.Thread, targetBytes uint64) error {
 	if target > len(h.frames) {
 		target = len(h.frames)
 	}
-	h.faultMu.Lock()
-	defer h.faultMu.Unlock()
+	h.epoch.Lock()
+	defer h.epoch.Unlock()
 	if target == h.activeFrames {
 		return nil
 	}
@@ -44,23 +46,16 @@ func (h *Heap) shrinkLocked(th *sgx.Thread, target int) error {
 		if fm.disabled {
 			continue
 		}
-		if fm.bsPage != noBSPage {
-			if !h.evictFrameLocked(th, int32(f)) {
+		if fm.bsPage.Load() != noBSPage {
+			ok, _ := h.evictFrame(th, int32(f))
+			if !ok {
 				return fmt.Errorf("suvm: cannot shrink EPC++ below %d frames: frame %d is pinned by a linked spointer", f+1, f)
 			}
 		}
 		fm.disabled = true
 	}
-	// Drop the vacated frames from the free list.
-	h.freeMu.Lock()
-	kept := h.freeFrames[:0]
-	for _, f := range h.freeFrames {
-		if !h.frames[f].disabled {
-			kept = append(kept, f)
-		}
-	}
-	h.freeFrames = kept
-	h.freeMu.Unlock()
+	// Drop the vacated frames from the free pools.
+	h.free.filter(func(f int32) bool { return !h.frames[f].disabled })
 	h.activeFrames = target
 	// Return the underlying EPC pages to the driver (whole 4 KiB pages
 	// only; with sub-4K SUVM pages the tail partial page is kept).
@@ -81,13 +76,11 @@ func (h *Heap) growLocked(th *sgx.Thread, target int) error {
 		// Re-materialize and pin the underlying EPC pages.
 		h.encl.Pin(th, h.frameBase+start, end-start)
 	}
-	h.freeMu.Lock()
 	for f := target - 1; f >= h.activeFrames; f-- {
 		h.frames[f].disabled = false
-		h.frames[f].bsPage = noBSPage
-		h.freeFrames = append(h.freeFrames, int32(f))
+		h.frames[f].bsPage.Store(noBSPage)
+		h.free.put(int32(f))
 	}
-	h.freeMu.Unlock()
 	h.activeFrames = target
 	return nil
 }
@@ -98,32 +91,44 @@ func (h *Heap) growLocked(th *sgx.Thread, target int) error {
 // Run from a dedicated swapper thread, it moves eviction work (dirty
 // write-backs included) off the application threads' fault critical
 // path: their major faults then find free frames and pay only the
-// page-in.
+// page-in. Each eviction holds the resize epoch shared for just that
+// iteration, so application faults proceed alongside the reclaim and a
+// resize never waits for more than one eviction.
 func (h *Heap) ReclaimFreePool(th *sgx.Thread, target int) int {
-	if target > h.activeFrames/2 {
-		target = h.activeFrames / 2
+	h.epoch.RLock()
+	active := h.activeFrames
+	h.epoch.RUnlock()
+	if target > active/2 {
+		target = active / 2
 	}
-	h.faultMu.Lock()
-	defer h.faultMu.Unlock()
-	reclaimed := 0
+	reclaimed, stalls := 0, 0
 	for {
-		h.freeMu.Lock()
-		n := len(h.freeFrames)
-		h.freeMu.Unlock()
-		if n >= target {
+		h.epoch.RLock()
+		if h.free.size() >= target {
+			h.epoch.RUnlock()
 			return reclaimed
 		}
-		v := h.pickVictimLocked()
+		v := h.ev.pick(h)
 		if v < 0 {
+			h.epoch.RUnlock()
 			return reclaimed
 		}
-		if !h.evictFrameLocked(th, v) {
+		ok, _ := h.evictFrame(th, v)
+		h.epoch.RUnlock()
+		if ok {
+			h.free.put(v)
+			reclaimed++
+			stalls = 0
 			continue
 		}
-		h.freeMu.Lock()
-		h.freeFrames = append(h.freeFrames, v)
-		h.freeMu.Unlock()
-		reclaimed++
+		// Victim pinned, remapped, or mid-eviction by a faulting thread
+		// (which keeps the frame for itself): move on, but give up after
+		// a full pool's worth of consecutive misses — the faulting
+		// threads are clearly consuming frames as fast as we free them.
+		stalls++
+		if stalls > active {
+			return reclaimed
+		}
 	}
 }
 
@@ -142,24 +147,38 @@ func (h *Heap) BalloonTick(th *sgx.Thread) error {
 	return h.ResizeTo(th, target)
 }
 
-// Swapper is the background EPC++ swapper thread of §3.2.3: a goroutine
-// owning a dedicated enclave thread that periodically re-balloons the
-// page cache in response to driver-reported PRM pressure and tops up
-// the free frame pool so application faults skip the eviction work.
+// Swapper is the EPC++ swapper of §3.2.3: a dedicated enclave thread
+// that re-balloons the page cache in response to driver-reported PRM
+// pressure and tops up the free frame pool so application faults skip
+// the eviction work. It runs in one of two modes: wall-clock (built by
+// StartSwapper, a background goroutine ticking at a fixed interval —
+// the server deployment) or manual (built by NewSwapper; the owner
+// calls TickNow at points of its choosing, keeping benchmarks and tests
+// deterministic — no host timer races the measured run).
 type Swapper struct {
-	stop chan struct{}
+	h  *Heap
+	th *sgx.Thread
+	mu sync.Mutex // serializes ticks (background loop vs TickNow)
+
+	stop chan struct{} // nil in manual mode
 	done sync.WaitGroup
 }
 
 // freePoolFraction is the share of EPC++ the swapper keeps free.
 const freePoolFraction = 32 // 1/32 ≈ 3%
 
-// StartSwapper launches the background swapper with the given polling
-// interval. The returned Swapper must be stopped before the heap's
-// enclave is destroyed.
+// NewSwapper creates a manual-mode swapper: no background goroutine,
+// ticks happen only when the owner calls TickNow.
+func (h *Heap) NewSwapper() *Swapper {
+	return &Swapper{h: h, th: h.encl.NewThread()}
+}
+
+// StartSwapper launches the background swapper with the given wall-clock
+// polling interval. The returned Swapper must be stopped before the
+// heap's enclave is destroyed.
 func (h *Heap) StartSwapper(interval time.Duration) *Swapper {
-	s := &Swapper{stop: make(chan struct{})}
-	th := h.encl.NewThread()
+	s := h.NewSwapper()
+	s.stop = make(chan struct{})
 	s.done.Add(1)
 	go func() {
 		defer s.done.Done()
@@ -170,20 +189,35 @@ func (h *Heap) StartSwapper(interval time.Duration) *Swapper {
 			case <-s.stop:
 				return
 			case <-t.C:
-				th.Enter()
-				// Best effort: a transiently pinned frame may block a
-				// shrink; the next tick retries.
-				_ = h.BalloonTick(th)
-				h.ReclaimFreePool(th, h.ActiveFrames()/freePoolFraction)
-				th.Exit()
+				s.TickNow()
 			}
 		}
 	}()
 	return s
 }
 
-// Stop terminates the swapper and waits for it to finish.
+// TickNow runs one synchronous swapper tick: balloon EPC++ against the
+// driver-reported PRM share, then top up the free frame pool. Safe to
+// call concurrently with application faults and with the background
+// loop (ticks serialize).
+func (s *Swapper) TickNow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.th.Enter()
+	// Best effort: a transiently pinned frame may block a shrink; the
+	// next tick retries.
+	_ = s.h.BalloonTick(s.th)
+	s.h.ReclaimFreePool(s.th, s.h.ActiveFrames()/freePoolFraction)
+	s.th.Exit()
+}
+
+// Stop terminates the background loop and waits for it to finish; a
+// no-op for manual-mode swappers.
 func (s *Swapper) Stop() {
+	if s.stop == nil {
+		return
+	}
 	close(s.stop)
 	s.done.Wait()
+	s.stop = nil
 }

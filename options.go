@@ -1,6 +1,10 @@
 package eleos
 
-import "eleos/internal/sgx"
+import (
+	"time"
+
+	"eleos/internal/sgx"
+)
 
 // MachineConfig configures the simulated SGX platform (PRM size, LLC
 // geometry, cost model); the zero value selects the paper's testbed.
@@ -48,4 +52,48 @@ func WithMachine(m MachineConfig) Option {
 // worker shards (0 keeps the default of 256 slots).
 func WithRPCRing(capacity int) Option {
 	return optionFunc(func(c *Config) { c.RPCRing = capacity })
+}
+
+// EnclaveOption configures one enclave (its SUVM heap and swapper) in
+// NewEnclave, applied in order over the EnclaveConfig argument.
+type EnclaveOption interface {
+	applyEnclaveOption(*EnclaveConfig)
+}
+
+type enclaveOptionFunc func(*EnclaveConfig)
+
+func (f enclaveOptionFunc) applyEnclaveOption(c *EnclaveConfig) { f(c) }
+
+// WithEvictionPolicy selects the EPC++ eviction policy (§3.2.4 — SUVM
+// exposes the policy to the application; default PolicyClock).
+func WithEvictionPolicy(p EvictionPolicy) EnclaveOption {
+	return enclaveOptionFunc(func(c *EnclaveConfig) { c.Heap.Policy = p })
+}
+
+// WithPageCache sizes EPC++ in bytes.
+func WithPageCache(n uint64) EnclaveOption {
+	return enclaveOptionFunc(func(c *EnclaveConfig) { c.PageCacheBytes = n })
+}
+
+// WithSUVMPageSize sets the EPC++ page size (power of two, 512..64 KiB).
+func WithSUVMPageSize(n int) EnclaveOption {
+	return enclaveOptionFunc(func(c *EnclaveConfig) { c.Heap.PageSize = n })
+}
+
+// WithSwapperInterval starts the background swapper thread at the given
+// wall-clock period.
+func WithSwapperInterval(d time.Duration) EnclaveOption {
+	return enclaveOptionFunc(func(c *EnclaveConfig) {
+		c.SwapperInterval = d
+		c.ManualSwapper = false
+	})
+}
+
+// WithManualSwapper creates the swapper in manual (deterministic) mode:
+// no background goroutine; drive it with Enclave.Swapper().TickNow().
+func WithManualSwapper() EnclaveOption {
+	return enclaveOptionFunc(func(c *EnclaveConfig) {
+		c.ManualSwapper = true
+		c.SwapperInterval = 0
+	})
 }
