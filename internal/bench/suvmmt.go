@@ -101,6 +101,15 @@ func suvmMT(rc RunConfig) (*Result, error) {
 			t.AddRow(variant, threads, tput, report.Ratio(tput, baseline),
 				perOp(max, opsPerThread), st.FaultsCoalesced,
 				float64(st.FaultWaitCycles)/1e3, scanLen)
+
+			// Tear the iteration's enclave down (after the cycle counts
+			// are read: Exit charges the exiting thread) so thread and
+			// enclave state don't accumulate across the 8 runs.
+			for _, th := range ths[1:] {
+				th.Exit()
+			}
+			v.th.Exit()
+			v.encl.Destroy()
 		}
 	}
 	return &Result{ID: "suvm-mt", Title: "SUVM multi-threaded fault throughput", Tables: []*report.Table{t}}, nil

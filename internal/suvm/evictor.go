@@ -19,6 +19,15 @@ const freeShards = 8
 // pool receives frames 0, 1, 2, … — the exact order the pre-pipeline
 // global stack produced, which matters because the frame index picks
 // the frame's virtual address and with it its LLC set behaviour.
+//
+// That order equivalence holds only for the initial drain (and thus for
+// every swapper-less run, which never puts a frame back: takeFrame
+// consumes victims directly). Once the swapper's ReclaimFreePool
+// returns frames to their *home* shards, take's low-to-high shard scan
+// hands them out in a different order than the old global stack's pure
+// LIFO would have. Runs that mix faults with reclaim ticks are still
+// deterministic — pinned by the swapper-interleaved golden fingerprint
+// — but against a pipeline-era baseline, not the pre-refactor seed.
 type framePool struct {
 	per    int // frames per shard (last shard may be short)
 	shards [freeShards]freeShard

@@ -86,7 +86,7 @@ func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) (int32, error) {
 			// wait, pay the queueing delay, and retry — on a coalesced
 			// page-in the retry is a minor fault onto the winner's frame.
 			is.mu.Unlock()
-			h.waitInflight(th, op)
+			h.waitInflight(th, op, true)
 			continue
 		}
 		op := &inflightOp{done: make(chan struct{})}
@@ -119,6 +119,7 @@ func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) (int32, error) {
 		sh.mu.Lock()
 		sh.m[bsPage] = f
 		sh.mu.Unlock()
+		op.pagedIn = true
 		h.finishInflight(th, is, bsPage, op)
 		h.stats.majorFaults.Add(1)
 		return f, nil
@@ -129,15 +130,20 @@ func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) (int32, error) {
 // charges the waiter the single-server queueing delay — virtual time
 // advances to the owner's completion timestamp, exactly as the SGX
 // driver's busyUntil model charges hardware faults that queue behind an
-// earlier fault. Page-in waiters are the coalesced faults of §4.1.
-func (h *Heap) waitInflight(th *sgx.Thread, op *inflightOp) {
+// earlier fault. coalesce marks a same-page faulter (the majorFault
+// retry path): it is counted as a coalesced fault of §4.1 when the
+// owner's page-in succeeded, since only then does its retry adopt the
+// winner's frame. takeFrame waiters pass false — they queue on a
+// victim's page while claiming a frame, which is contention, not
+// coalescing.
+func (h *Heap) waitInflight(th *sgx.Thread, op *inflightOp, coalesce bool) {
 	<-op.done
 	if now := th.T.Cycles(); op.doneAt > now {
 		wait := op.doneAt - now
 		th.T.Charge(wait)
 		h.stats.faultWaitCycles.Add(wait)
 	}
-	if !op.evicting {
+	if coalesce && op.pagedIn {
 		h.stats.faultsCoalesced.Add(1)
 	}
 }
@@ -222,7 +228,7 @@ func (h *Heap) takeFrame(th *sgx.Thread) (int32, error) {
 		if busy != nil {
 			// Another thread is mid-eviction on this victim's page and
 			// keeps the frame; wait out the conflict and pick elsewhere.
-			h.waitInflight(th, busy)
+			h.waitInflight(th, busy, false)
 		}
 	}
 }

@@ -72,6 +72,77 @@ func TestSingleThreadCyclesMatchSeed(t *testing.T) {
 	}
 }
 
+// goldenSwapperWorkload is goldenWorkload with a manual swapper tick
+// interleaved every 250 accesses, exercising the reclaim path that puts
+// frames back into the sharded pool (and with it a frame-allocation
+// order the pre-refactor global stack never produced — see the
+// framePool comment in evictor.go).
+func goldenSwapperWorkload(t *testing.T, pol EvictionPolicy) [6]uint64 {
+	t.Helper()
+	cfg := Config{PageCacheBytes: 1 << 20, BackingBytes: 64 << 20, Policy: pol}
+	e := newEnv(t, cfg)
+	sw := e.h.NewSwapper()
+	p, err := e.h.Malloc(4 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	for off := uint64(0); off < p.Size(); off += 4096 {
+		if err := p.WriteAt(e.th, off, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(271828))
+	for i := 0; i < 3000; i++ {
+		if i%250 == 0 {
+			sw.TickNow()
+		}
+		off := uint64(rng.Intn(int(p.Size()/4096))) * 4096
+		var err error
+		if i%3 == 0 {
+			err = p.WriteAt(e.th, off, buf)
+		} else {
+			err = p.ReadAt(e.th, off, buf)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.h.Stats()
+	return [6]uint64{
+		e.th.T.Cycles(),
+		st.MajorFaults,
+		st.MinorFaults,
+		st.Evictions,
+		st.WriteBacks,
+		st.FaultCycles,
+	}
+}
+
+// Fingerprints of the swapper-interleaved workload, captured from the
+// fault pipeline itself (there is no pre-refactor baseline for these:
+// the old engine's global LIFO free stack allocated reclaimed frames in
+// a different order, so seed-comparability deliberately excludes
+// manual-swapper runs). They pin that deterministic reclaim-mixed runs
+// stay bit-identical from build to build.
+var goldenSwapperFingerprints = map[EvictionPolicy][6]uint64{
+	PolicyClock:  {57046510, 3282, 742, 3026, 1826, 37667130},
+	PolicyFIFO:   {57089500, 3277, 747, 3021, 1840, 37710420},
+	PolicyRandom: {56549656, 3264, 760, 3008, 1799, 37163106},
+}
+
+func TestManualSwapperRunsDeterministic(t *testing.T) {
+	for pol, want := range goldenSwapperFingerprints {
+		pol, want := pol, want
+		t.Run(pol.String(), func(t *testing.T) {
+			got := goldenSwapperWorkload(t, pol)
+			if got != want {
+				t.Fatalf("swapper-interleaved fingerprint diverged:\n got  %v\n want %v\n(fields: cycles, major, minor, evictions, writebacks, faultCycles)", got, want)
+			}
+		})
+	}
+}
+
 // TestGoldenPrint prints the current fingerprints; used to (re)capture
 // the constants above when the cost model itself changes intentionally.
 func TestGoldenPrint(t *testing.T) {
@@ -79,6 +150,6 @@ func TestGoldenPrint(t *testing.T) {
 		t.Skip("capture helper")
 	}
 	for _, pol := range []EvictionPolicy{PolicyClock, PolicyFIFO, PolicyRandom} {
-		fmt.Printf("%s: %v\n", pol, goldenWorkload(t, pol))
+		fmt.Printf("%s: %v swapper: %v\n", pol, goldenWorkload(t, pol), goldenSwapperWorkload(t, pol))
 	}
 }

@@ -27,6 +27,12 @@ type inflightShard struct {
 type inflightOp struct {
 	done     chan struct{}
 	evicting bool // eviction entry: waiters retry, nothing to coalesce onto
+	// pagedIn is set by a page-in owner that succeeded, before done is
+	// closed. A same-page faulter that waited on the entry coalesces onto
+	// the winner's frame only in this case; waiters of an eviction or of
+	// a page-in that failed (ErrOutOfEPC) have no frame to adopt and must
+	// run their own fault, so they are not counted as coalesced.
+	pagedIn bool
 	// doneAt is the owner's virtual-cycle timestamp when the operation
 	// completed. Waiters are charged max(0, doneAt - now): the same
 	// single-server queueing rule the SGX driver's busyUntil model uses,

@@ -114,13 +114,19 @@ func (h *Heap) ReclaimFreePool(th *sgx.Thread, target int) int {
 			return reclaimed
 		}
 		ok, _ := h.evictFrame(th, v)
-		h.epoch.RUnlock()
 		if ok {
+			// The put must stay inside the epoch read section: between a
+			// vacating eviction and the put, an exclusive shrink would see
+			// frame v already empty, disable it, filter the free pools (v
+			// not yet pooled) and release its EPC pages — a put after that
+			// resurrects a disabled frame for future page-ins.
 			h.free.put(v)
 			reclaimed++
 			stalls = 0
+			h.epoch.RUnlock()
 			continue
 		}
+		h.epoch.RUnlock()
 		// Victim pinned, remapped, or mid-eviction by a faulting thread
 		// (which keeps the frame for itself): move on, but give up after
 		// a full pool's worth of consecutive misses — the faulting
