@@ -1,16 +1,21 @@
 # Tier-1 gate and helpers for the Eleos simulation repo.
 #
-#   make check   — the full tier-1 gate: formatting, vet, build, tests
-#                  (including the RPC stress tests under the race detector)
+#   make check   — the full tier-1 gate: formatting, vet, build, lint
+#                  (eleoslint + staticcheck), tests (including the RPC
+#                  stress tests under the race detector)
+#   make lint    — the static-invariant gate alone: the custom eleoslint
+#                  analyzers (trust boundary, determinism, lock order)
+#                  plus staticcheck when it is installed
 #   make bench   — regenerate the async-RPC microbenchmark artifacts
 #                  (BENCH_rpc_async.json in the repo root)
 #   make test    — plain test run, no race detector
 
 GO ?= go
+BIN ?= bin
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench lint eleoslint staticcheck
 
-check: fmt vet build race
+check: fmt vet build lint race
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -31,6 +36,25 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+lint: eleoslint staticcheck
+
+# The custom analyzer suite. Built from source every time (it is a few
+# hundred lines; the Go build cache makes the rebuild free) and run over
+# the whole module. See internal/lint and DESIGN.md "Static invariants".
+eleoslint:
+	$(GO) build -o $(BIN)/eleoslint ./cmd/eleoslint
+	./$(BIN)/eleoslint ./...
+
+# staticcheck is pinned in tools/tools.go but the build environment is
+# offline, so the gate runs it only where it is installed (CI installs
+# it; see .github/workflows/ci.yml). Configuration in staticcheck.conf.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (CI runs it)"; \
+	fi
 
 bench:
 	$(GO) run ./cmd/eleos-bench -quick -run rpc-async -json .

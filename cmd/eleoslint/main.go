@@ -1,0 +1,127 @@
+// Command eleoslint runs the simulator's custom static analyzers over
+// the module: trustboundary (enclave code reaches host memory only
+// through the sealing/spointer facades), simdeterminism (cycle-charged
+// packages stay a pure function of config and seeds) and lockorder
+// (//eleos:lockorder mutex ranks are acquired in increasing order).
+// See internal/lint and the "Static invariants" section of DESIGN.md.
+//
+// Usage:
+//
+//	eleoslint [-C dir] [packages]
+//
+// Package patterns are module-relative: "./..." (the default) analyzes
+// everything; "./internal/suvm" one package; "./internal/..." a
+// subtree. The whole module is always loaded (the trust-boundary call
+// graph needs it); the patterns select which packages' findings are
+// reported. Exits 1 if any diagnostic survives its //eleos:allow
+// filter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"eleos/internal/lint/analysis"
+	"eleos/internal/lint/load"
+	"eleos/internal/lint/lockorder"
+	"eleos/internal/lint/simdeterminism"
+	"eleos/internal/lint/trustboundary"
+)
+
+var analyzers = []*analysis.Analyzer{
+	trustboundary.Analyzer,
+	simdeterminism.Analyzer,
+	lockorder.Analyzer,
+}
+
+func main() {
+	dir := flag.String("C", ".", "module root to analyze")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: eleoslint [-C dir] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if err := run(*dir, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "eleoslint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(dir string, patterns []string) error {
+	prog, err := load.Load(dir)
+	if err != nil {
+		return err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := selectPackages(prog, patterns)
+	if err != nil {
+		return err
+	}
+
+	diags, err := analysis.Run(prog, analyzers, pkgs)
+	if err != nil {
+		return err
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		fmt.Printf("%s:%d:%d: %s [%s.%s]\n", file, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer, d.Category)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// selectPackages resolves module-relative patterns against the loaded
+// program.
+func selectPackages(prog *load.Program, patterns []string) ([]*load.Package, error) {
+	match := func(pkgPath string) bool { return false }
+	var matchers []func(string) bool
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		abs := prog.Module
+		if pat != "" && pat != "..." {
+			abs = prog.Module + "/" + strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+		}
+		if strings.HasSuffix(pat, "...") {
+			prefix := strings.TrimSuffix(abs, "/")
+			matchers = append(matchers, func(p string) bool {
+				return p == prefix || strings.HasPrefix(p, prefix+"/")
+			})
+		} else {
+			exact := abs
+			matchers = append(matchers, func(p string) bool { return p == exact })
+		}
+	}
+	match = func(pkgPath string) bool {
+		for _, m := range matchers {
+			if m(pkgPath) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []*load.Package
+	for _, pkg := range prog.Packages {
+		if match(pkg.PkgPath) {
+			out = append(out, pkg)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	return out, nil
+}

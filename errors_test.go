@@ -76,6 +76,179 @@ func TestSentinelErrorsEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSentinelErrorTable walks every public path documented to produce
+// one of the four headline sentinels and asserts errors.Is matches each
+// through the public re-export in errors.go.
+func TestSentinelErrorTable(t *testing.T) {
+	rt := newRuntime(t)
+	newCtx := func(t *testing.T) *Ctx {
+		t.Helper()
+		encl, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 8 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(encl.Destroy)
+		ctx := encl.NewContext()
+		t.Cleanup(ctx.Close)
+		return ctx
+	}
+	// Two long-lived contexts shared by the rows: each enclave reserves
+	// its backing store in the host arena for the life of the runtime,
+	// so one enclave per row would exhaust the arena.
+	ctxA, ctxB := newCtx(t), newCtx(t)
+	freedPtr := func(t *testing.T) *Ptr {
+		t.Helper()
+		p, err := ctxA.Malloc(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Free(); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// A second runtime, already closed, for the ErrPoolStopped rows. Its
+	// context outlives Close so the threads stay usable as callers.
+	closedRT, err := NewRuntime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	closedEncl, err := closedRT.NewEnclave(EnclaveConfig{PageCacheBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closedEncl.Destroy()
+	closedCtx := closedEncl.NewContext()
+	defer closedCtx.Close()
+	closedRT.Close()
+
+	cases := []struct {
+		name string
+		want error
+		op   func(t *testing.T) error
+	}{
+		{"OutOfEPC/runtime machine config beyond PRM", ErrOutOfEPC, func(t *testing.T) error {
+			over, err := NewRuntime(WithMachine(MachineConfig{UsablePRMBytes: 256 << 20}))
+			if err == nil {
+				over.Close()
+			}
+			return err
+		}},
+		{"OutOfEPC/enclave page cache beyond PRM", ErrOutOfEPC, func(t *testing.T) error {
+			encl, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 1 << 40})
+			if err == nil {
+				encl.Destroy()
+			}
+			return err
+		}},
+
+		{"Freed/Read", ErrFreed, func(t *testing.T) error {
+			return freedPtr(t).Read(make([]byte, 8))
+		}},
+		{"Freed/Write", ErrFreed, func(t *testing.T) error {
+			return freedPtr(t).Write([]byte("x"))
+		}},
+		{"Freed/ReadAt", ErrFreed, func(t *testing.T) error {
+			return freedPtr(t).ReadAt(0, make([]byte, 8))
+		}},
+		{"Freed/WriteAt", ErrFreed, func(t *testing.T) error {
+			return freedPtr(t).WriteAt(0, []byte("x"))
+		}},
+		{"Freed/ReadU64", ErrFreed, func(t *testing.T) error {
+			_, err := freedPtr(t).ReadU64()
+			return err
+		}},
+		{"Freed/WriteU64", ErrFreed, func(t *testing.T) error {
+			return freedPtr(t).WriteU64(7)
+		}},
+		{"Freed/Advance", ErrFreed, func(t *testing.T) error {
+			return freedPtr(t).Advance(8)
+		}},
+		{"Freed/Seek", ErrFreed, func(t *testing.T) error {
+			return freedPtr(t).Seek(8)
+		}},
+		{"Freed/double Free", ErrFreed, func(t *testing.T) error {
+			return freedPtr(t).Free()
+		}},
+		{"Freed/use after Detach", ErrFreed, func(t *testing.T) error {
+			ctx := ctxA
+			seg, err := rt.NewSegment(1<<20, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := ctx.Attach(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ctx.Detach(p); err != nil {
+				t.Fatal(err)
+			}
+			return p.ReadAt(0, make([]byte, 8))
+		}},
+
+		{"SegmentBusy/Attach while mounted elsewhere", ErrSegmentBusy, func(t *testing.T) error {
+			seg, err := rt.NewSegment(1<<20, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := ctxA.Attach(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, attachErr := ctxB.Attach(seg)
+			if err := ctxA.Detach(p); err != nil {
+				t.Fatal(err)
+			}
+			return attachErr
+		}},
+		{"SegmentBusy/Detach while a page is linked", ErrSegmentBusy, func(t *testing.T) error {
+			ctx := ctxB
+			seg, err := rt.NewSegment(1<<20, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := ctx.Attach(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Detach unlinks its own spointer first, so the pin must come
+			// from a second spointer into the segment: clone, then link
+			// the clone with a current-offset read.
+			clone := p.Raw().Clone()
+			if err := clone.Read(ctx.Thread(), make([]byte, 8)); err != nil {
+				t.Fatal(err)
+			}
+			detachErr := ctx.Detach(p)
+			clone.Unlink(ctx.Thread())
+			if err := ctx.Detach(p); err != nil {
+				t.Fatal(err)
+			}
+			return detachErr
+		}},
+
+		{"PoolStopped/Call", ErrPoolStopped, func(t *testing.T) error {
+			return closedRT.Pool().Call(closedCtx.Thread(), func(h *HostCtx) {})
+		}},
+		{"PoolStopped/CallAsync", ErrPoolStopped, func(t *testing.T) error {
+			_, err := closedRT.Pool().CallAsync(closedCtx.Thread(), func(h *HostCtx) {})
+			return err
+		}},
+		{"PoolStopped/CallBatch", ErrPoolStopped, func(t *testing.T) error {
+			return closedRT.Pool().CallBatch(closedCtx.Thread(), []func(*HostCtx){func(h *HostCtx) {}})
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.op(t)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error = %v, want errors.Is(err, %v)", err, tc.want)
+			}
+		})
+	}
+}
+
 // ErrPoolStopped: exit-less calls against a closed runtime fail with a
 // matchable sentinel at the pool level.
 func TestPoolStoppedAfterClose(t *testing.T) {

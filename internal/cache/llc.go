@@ -9,6 +9,10 @@
 // per line touched and to reproduce occupancy effects: cache pollution
 // by system-call I/O buffers (Fig 2a/6b of the paper) and the reduced
 // effective capacity available to enclaves.
+//
+// Cycle-charged and checked by eleoslint for determinism.
+//
+//eleos:deterministic
 package cache
 
 import (

@@ -8,6 +8,12 @@
 // The cost constants in Model are taken from the measurements in §2 of
 // the Eleos paper (EuroSys'17) where available, and from typical Skylake
 // numbers otherwise. See DESIGN.md for the full table with sources.
+//
+// The virtual clock is the root of the simulator's determinism
+// guarantee, so this package is checked by eleoslint: no wall clock, no
+// global rand, no map-iteration-order dependence.
+//
+//eleos:deterministic
 package cycles
 
 // Model holds the architectural cost model, in CPU cycles, for the

@@ -10,6 +10,13 @@
 // an enclave writes through fsim it can read back, and the host can
 // inspect (which is why enclaves encrypt before writing — the seclog
 // example shows the pattern).
+//
+// Trust domain: untrusted. fsim is the host side of the file service —
+// the code an RPC worker runs on behalf of the enclave. It operates on
+// host memory via *sgx.HostCtx and must never touch EPC contents or
+// call enclave code (enforced by eleoslint's trustboundary analyzer).
+//
+//eleos:untrusted
 package fsim
 
 import (

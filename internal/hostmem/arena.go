@@ -4,6 +4,14 @@
 // allocator the paper uses for the SUVM backing store (§4.1). Evicted
 // pages, RPC job queues, syscall I/O buffers and security-insensitive
 // application metadata all live here.
+//
+// Trust domain: untrusted. Enclave code must reach the arena's raw byte
+// accessors (ReadAt, WriteAt, Slice) only through the seal/suvm
+// facades; eleoslint's trustboundary analyzer enforces that. The
+// allocator is cycle-charged bookkeeping and stays deterministic.
+//
+//eleos:untrusted
+//eleos:deterministic
 package hostmem
 
 import (
@@ -25,6 +33,7 @@ const chunkSize = 1 << chunkShift
 // concurrent use; byte-range races are the caller's concern, exactly as
 // with real shared memory.
 type Arena struct {
+	//eleos:lockorder 140
 	mu     sync.RWMutex
 	chunks map[uint64][]byte
 	alloc  *Buddy

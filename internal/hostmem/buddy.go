@@ -83,10 +83,16 @@ func (b *Buddy) Alloc(n uint64) (uint64, error) {
 	if o > b.maxOrder {
 		return 0, fmt.Errorf("%w: no free block for %d bytes", ErrOutOfMemory, n)
 	}
-	var off uint64
+	// Take the lowest-addressed free block of the order. Taking
+	// whichever key map iteration yields first would make allocation
+	// addresses — and through them LLC set placement and the golden
+	// cycle fingerprints — vary from run to run.
+	off, first := uint64(0), true
+	//eleos:allow maprange -- tracks the minimum of the (unique) keys, which is iteration-order-independent
 	for k := range b.free[o] {
-		off = k
-		break
+		if first || k < off {
+			off, first = k, false
+		}
 	}
 	delete(b.free[o], off)
 	// Split down to the wanted order, returning the upper halves.

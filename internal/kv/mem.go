@@ -7,6 +7,13 @@
 // chasing, TLB-insensitive) and chaining (pointer chasing, hurt by the
 // TLB flushes of enclave exits). A variable-size BlobTable serves the
 // face-verification server's 40-byte-key / 232-KiB-value store.
+//
+// Trust domain: trusted. The tables run inside the enclave over the
+// Mem abstraction; host-memory placement goes through suvm/sgx
+// accessors, never through raw hostmem access (enforced by eleoslint).
+//
+//eleos:trusted
+//eleos:deterministic
 package kv
 
 import (

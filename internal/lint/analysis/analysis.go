@@ -1,0 +1,143 @@
+// Package analysis is the minimal analyzer framework under eleoslint.
+// It mirrors the shape of golang.org/x/tools/go/analysis — an Analyzer
+// runs once per package against a Pass and reports Diagnostics — but is
+// built on internal/lint/load's whole-program view, because the
+// trust-boundary analyzer needs a call graph spanning every package and
+// the build environment has no module cache from which to pull x/tools.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"eleos/internal/lint/directive"
+	"eleos/internal/lint/load"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //eleos:allow suppressions.
+	Name string
+	// Doc is a one-paragraph description.
+	Doc string
+	// Run analyzes one package and reports findings via pass.Report.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package plus the surrounding
+// program.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *load.Program
+	Pkg      *load.Package
+	Fset     *token.FileSet
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	// Category is the fine-grained check name (e.g. "maprange"); an
+	// //eleos:allow directive may name either it or the analyzer.
+	Category string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s.%s]", d.Pos, d.Message, d.Analyzer, d.Category)
+}
+
+// Report records a finding at pos under the given category.
+func (p *Pass) Report(pos token.Pos, category, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes every analyzer over every package of prog and returns
+// the surviving diagnostics in file/line order, after dropping findings
+// matched by well-formed //eleos:allow directives. Malformed
+// suppressions (no reason text after "--") are themselves diagnostics:
+// a suppression that does not document itself defeats its purpose.
+func Run(prog *load.Program, analyzers []*Analyzer, pkgs []*load.Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, Fset: prog.Fset, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+
+	allows, bad := allowIndex(prog, pkgs)
+	diags = append(diags, bad...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(allows, d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Message < b.Message
+	})
+	return kept, nil
+}
+
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// allowIndex collects //eleos:allow directives from the analyzed
+// packages. Directives missing a reason are returned as diagnostics.
+func allowIndex(prog *load.Program, pkgs []*load.Package) (map[allowKey]bool, []Diagnostic) {
+	idx := map[allowKey]bool{}
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, a := range directive.Allows(prog.Fset, f) {
+				if a.Check == "" || a.Reason == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      token.Position{Filename: a.File, Line: a.Line},
+						Analyzer: "eleoslint",
+						Category: "badallow",
+						Message:  "malformed //eleos:allow: want \"//eleos:allow CHECK -- reason\"",
+					})
+					continue
+				}
+				idx[allowKey{a.File, a.Line, a.Check}] = true
+			}
+		}
+	}
+	return idx, bad
+}
+
+// suppressed reports whether an allow directive on the diagnostic's
+// line, or on the line directly above it, names the diagnostic's
+// category or analyzer.
+func suppressed(idx map[allowKey]bool, d Diagnostic) bool {
+	for _, check := range []string{d.Category, d.Analyzer} {
+		for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+			if idx[allowKey{d.Pos.Filename, line, check}] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,23 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StaticCallee resolves a call expression to the concrete function or
+// method object it invokes, or nil for dynamic calls (function values,
+// interface methods), conversions and builtins.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

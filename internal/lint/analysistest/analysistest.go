@@ -1,0 +1,105 @@
+// Package analysistest exercises eleoslint analyzers against golden
+// testdata packages, in the manner of
+// golang.org/x/tools/go/analysis/analysistest: a testdata directory
+// holds a src/ tree of small packages, lines that should be flagged
+// carry a `// want "regexp"` comment, and the test fails on any
+// mismatch in either direction — a diagnostic with no want, or a want
+// with no diagnostic.
+package analysistest
+
+import (
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"eleos/internal/lint/analysis"
+	"eleos/internal/lint/load"
+)
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(".*")\s*$`)
+
+// Run loads the testdata tree (a directory containing src/), runs the
+// analyzer over the named packages, and checks diagnostics against the
+// `// want` expectations in their sources.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	prog, err := load.Load(testdata)
+	if err != nil {
+		t.Fatalf("loading %s: %v", testdata, err)
+	}
+	var pkgs []*load.Package
+	for _, path := range pkgPaths {
+		pkg := prog.Package(path)
+		if pkg == nil {
+			t.Fatalf("package %q not found under %s", path, testdata)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, prog, pkgs)
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		ok := false
+		for i, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				matched[i] = true
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants scans the packages' comments for `// want "re"` markers.
+func collectWants(t *testing.T, prog *load.Program, pkgs []*load.Package) []want {
+	t.Helper()
+	var out []want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, g := range f.Comments {
+				for _, c := range g.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pat, err := strconv.Unquote(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", position(prog.Fset, c.Pos()), m[1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", position(prog.Fset, c.Pos()), pat, err)
+					}
+					pos := prog.Fset.Position(c.Pos())
+					out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func position(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return filepath.Base(p.Filename) + ":" + strings.TrimLeft(strconv.Itoa(p.Line), " ")
+}

@@ -1,0 +1,178 @@
+// Package directive parses the //eleos: comment directives that carry
+// the simulator's statically checked invariants. The grammar is small
+// and line-oriented; each directive sits alone on a comment line:
+//
+//	//eleos:trusted        — code runs inside the enclave
+//	//eleos:untrusted      — code runs outside the enclave
+//	//eleos:platform       — simulated hardware / privileged host kernel
+//	//eleos:facade         — sanctioned raw host-memory crossing point
+//	//eleos:deterministic  — package is cycle-charged; wall clock, global
+//	//	                     rand and unsorted map ranges are forbidden
+//	//eleos:lockorder N    — mutex participates in the global lock order
+//	//	                     with rank N (lower ranks are acquired first)
+//	//eleos:allow CHECK -- reason — suppress CHECK on the next line
+//
+// Trust-domain directives appear in package doc comments (setting the
+// default for every function in the package) or in a function's doc
+// comment (overriding the package default). Lockorder directives appear
+// in the doc or line comment of a mutex field or package-level mutex
+// variable. Allow directives appear on, or on the line immediately
+// above, the statement they suppress, and must carry a reason.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Prefix is the comment prefix shared by every directive.
+const Prefix = "//eleos:"
+
+// Domain is a trust domain assignment.
+type Domain int
+
+const (
+	// DomainUnset means no trust directive applies.
+	DomainUnset Domain = iota
+	// DomainTrusted marks code that runs inside the enclave.
+	DomainTrusted
+	// DomainUntrusted marks code that runs outside the enclave.
+	DomainUntrusted
+	// DomainPlatform marks the simulated hardware and the privileged
+	// host kernel, which by definition straddle the boundary.
+	DomainPlatform
+)
+
+func (d Domain) String() string {
+	switch d {
+	case DomainTrusted:
+		return "trusted"
+	case DomainUntrusted:
+		return "untrusted"
+	case DomainPlatform:
+		return "platform"
+	}
+	return "unset"
+}
+
+// Set is the collection of directives found on one declaration or in
+// one package's doc comments.
+type Set struct {
+	Domain        Domain
+	Facade        bool
+	Deterministic bool
+	LockRank      int
+	HasLockRank   bool
+}
+
+// Merge folds other into s; other's domain wins when both are set.
+func (s *Set) Merge(other Set) {
+	if other.Domain != DomainUnset {
+		s.Domain = other.Domain
+	}
+	s.Facade = s.Facade || other.Facade
+	s.Deterministic = s.Deterministic || other.Deterministic
+	if other.HasLockRank {
+		s.LockRank, s.HasLockRank = other.LockRank, true
+	}
+}
+
+// Parse extracts directives from the given comment groups (nil groups
+// are skipped).
+func Parse(groups ...*ast.CommentGroup) Set {
+	var s Set
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			name, arg, ok := split(c.Text)
+			if !ok {
+				continue
+			}
+			switch name {
+			case "trusted":
+				s.Domain = DomainTrusted
+			case "untrusted":
+				s.Domain = DomainUntrusted
+			case "platform":
+				s.Domain = DomainPlatform
+			case "facade":
+				s.Facade = true
+			case "deterministic":
+				s.Deterministic = true
+			case "lockorder":
+				if n, err := strconv.Atoi(strings.Fields(arg)[0]); err == nil {
+					s.LockRank, s.HasLockRank = n, true
+				}
+			}
+		}
+	}
+	return s
+}
+
+// split decomposes one comment line into directive name and argument.
+// Directives use the Go tool-directive form (no space after //), so
+// ordinary prose mentioning "eleos:" is never parsed.
+func split(text string) (name, arg string, ok bool) {
+	if !strings.HasPrefix(text, Prefix) {
+		return "", "", false
+	}
+	rest := strings.TrimPrefix(text, Prefix)
+	name, arg, _ = strings.Cut(rest, " ")
+	if name == "" {
+		return "", "", false
+	}
+	return name, strings.TrimSpace(arg), true
+}
+
+// ForPackage merges the package doc comments of every file. Go keeps a
+// package's doc comment in whichever file carries it, and nothing stops
+// two files from both having one, so all files are consulted.
+func ForPackage(files []*ast.File) Set {
+	var s Set
+	for _, f := range files {
+		s.Merge(Parse(f.Doc))
+	}
+	return s
+}
+
+// ForFunc parses the doc comment of one function declaration.
+func ForFunc(decl *ast.FuncDecl) Set {
+	return Parse(decl.Doc)
+}
+
+// Allow is one suppression directive: CHECK may not fire on Line or
+// Line+1 of File.
+type Allow struct {
+	File  string
+	Line  int
+	Check string
+	// Reason is the text after "--"; empty reasons are rejected by the
+	// driver so every suppression documents itself.
+	Reason string
+}
+
+// Allows scans every comment in the file for //eleos:allow directives.
+func Allows(fset *token.FileSet, f *ast.File) []Allow {
+	var out []Allow
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			name, arg, ok := split(c.Text)
+			if !ok || name != "allow" {
+				continue
+			}
+			check, reason, _ := strings.Cut(arg, "--")
+			pos := fset.Position(c.Pos())
+			out = append(out, Allow{
+				File:   pos.Filename,
+				Line:   pos.Line,
+				Check:  strings.TrimSpace(check),
+				Reason: strings.TrimSpace(reason),
+			})
+		}
+	}
+	return out
+}

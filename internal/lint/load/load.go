@@ -1,0 +1,290 @@
+// Package load builds a fully type-checked view of a Go module using
+// only the standard library. It is the loader under the eleoslint
+// analyzers: the container this repo builds in has no module cache and
+// no network, so the x/tools loaders (go/packages, go/analysis's
+// unitchecker) are unavailable; go/parser + go/types + the "source"
+// importer are enough because the module has no dependencies beyond the
+// standard library.
+//
+// Two layouts are supported: a module root containing go.mod (the real
+// repository), and an analysistest-style GOPATH fragment where packages
+// live under root/src/<importpath> (the analyzers' testdata trees).
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the loaded program.
+type Package struct {
+	// PkgPath is the import path ("eleos/internal/suvm", or the
+	// src-relative path in testdata mode).
+	PkgPath string
+	// Dir is the absolute directory the files were read from.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is the loaded module: every buildable package, type-checked
+// in dependency order against one shared FileSet.
+type Program struct {
+	Fset *token.FileSet
+	// Module is the module path from go.mod, or "" in testdata mode.
+	Module   string
+	Packages []*Package // in topological (dependencies-first) order
+	byPath   map[string]*Package
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package { return p.byPath[path] }
+
+// Load parses and type-checks every package under root. If root
+// contains go.mod, packages get import paths under the module path;
+// otherwise root/src is treated as the import root (testdata mode).
+func Load(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	scanRoot, module := root, ""
+	if m, err := modulePath(filepath.Join(root, "go.mod")); err == nil {
+		module = m
+	} else {
+		scanRoot = filepath.Join(root, "src")
+		if _, err := os.Stat(scanRoot); err != nil {
+			return nil, fmt.Errorf("lint/load: %s has neither go.mod nor src/", root)
+		}
+	}
+
+	dirs, err := packageDirs(scanRoot)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset, Module: module, byPath: map[string]*Package{}}
+	raw := map[string]*rawPkg{}
+	for _, dir := range dirs {
+		rp, err := parseDir(fset, scanRoot, module, dir)
+		if err != nil {
+			return nil, err
+		}
+		if rp != nil {
+			raw[rp.path] = rp
+		}
+	}
+
+	order, err := toposort(raw)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &chainImporter{
+		prog: prog,
+		std:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		local: func(path string) bool {
+			_, ok := raw[path]
+			return ok
+		},
+	}
+	var typeErrs []error
+	for _, path := range order {
+		rp := raw[path]
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { typeErrs = append(typeErrs, err) },
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		tpkg, _ := conf.Check(path, fset, rp.files, info)
+		pkg := &Package{PkgPath: path, Dir: rp.dir, Files: rp.files, Types: tpkg, Info: info}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[path] = pkg
+	}
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for i, e := range typeErrs {
+			if i == 20 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("lint/load: type errors:\n\t%s", strings.Join(msgs, "\n\t"))
+	}
+	return prog, nil
+}
+
+type rawPkg struct {
+	path    string
+	dir     string
+	files   []*ast.File
+	imports []string
+}
+
+// packageDirs walks root collecting candidate package directories,
+// skipping VCS metadata, testdata trees (they are separate programs
+// loaded by the analyzers' own tests) and hidden/underscore dirs, same
+// as the go tool.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir loads one directory's buildable, non-test files. go/build
+// applies the usual build-tag and file-suffix rules; directories with
+// no buildable Go files are skipped.
+func parseDir(fset *token.FileSet, scanRoot, module, dir string) (*rawPkg, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, ok := err.(*build.NoGoError); ok {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lint/load: %s: %v", dir, err)
+	}
+	if len(bp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("lint/load: %s uses cgo, which this loader does not support", dir)
+	}
+	rel, err := filepath.Rel(scanRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.ToSlash(rel)
+	if module != "" {
+		if path == "." {
+			path = module
+		} else {
+			path = module + "/" + path
+		}
+	}
+	rp := &rawPkg{path: path, dir: dir, imports: bp.Imports}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		rp.files = append(rp.files, f)
+	}
+	return rp, nil
+}
+
+// toposort orders packages dependencies-first, considering only
+// intra-program imports. Import cycles are an error (as they are for
+// the compiler).
+func toposort(raw map[string]*rawPkg) ([]string, error) {
+	paths := make([]string, 0, len(raw))
+	for p := range raw {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var order []string
+	var visit func(string) error
+	visit = func(p string) error {
+		switch color[p] {
+		case black:
+			return nil
+		case grey:
+			return fmt.Errorf("lint/load: import cycle through %s", p)
+		}
+		color[p] = grey
+		deps := append([]string(nil), raw[p].imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if _, ok := raw[d]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		color[p] = black
+		order = append(order, p)
+		return nil
+	}
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// chainImporter resolves intra-program imports from the packages loaded
+// so far and everything else through the standard library's source
+// importer (the toolchain's GOROOT sources are always present, so no
+// network or module cache is needed).
+type chainImporter struct {
+	prog  *Program
+	std   types.ImporterFrom
+	local func(string) bool
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	return c.ImportFrom(path, "", 0)
+}
+
+func (c *chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p := c.prog.byPath[path]; p != nil {
+		return p.Types, nil
+	}
+	if c.local(path) {
+		return nil, fmt.Errorf("lint/load: %s imported before it was type-checked (load-order bug)", path)
+	}
+	return c.std.ImportFrom(path, dir, mode)
+}
+
+// modulePath reads the module path out of a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("no module line in %s", gomod)
+}

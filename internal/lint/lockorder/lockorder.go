@@ -1,0 +1,337 @@
+// Package lockorder enforces the simulator's global mutex ranking.
+//
+// PR 2's fault pipeline replaced one global lock with half a dozen
+// fine-grained ones whose safety rests on an acquisition order
+// (resize-epoch read lock before in-flight shard lock before evictor
+// scan lock, and so on). Mutexes opt in by carrying an
+// "//eleos:lockorder N" directive on their field or variable
+// declaration; the analyzer then checks every function body and flags
+// any acquisition of a ranked lock while a lock of equal or higher
+// rank is already held — lower ranks are outer, and two locks of the
+// same rank (for example two shards of one table) must never be held
+// together.
+//
+// The check is intraprocedural and flow-insensitive about success: a
+// linear walk tracks the held set through each function, analyzing
+// branch bodies against a snapshot of the state at entry (a lock
+// released inside one branch is still held on the other paths).
+// TryLock counts as an acquisition, deferred unlocks keep the lock
+// held to function end, and function literals are analyzed separately
+// with an empty held set (they run on their own goroutine or later).
+// Cross-function holds are out of scope; the rank table itself is what
+// keeps interprocedural nesting consistent.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+
+	"eleos/internal/lint/analysis"
+	"eleos/internal/lint/directive"
+	"eleos/internal/lint/load"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "check //eleos:lockorder mutex ranks: never acquire a lower- or equal-rank lock while holding a higher one",
+	Run:  run,
+}
+
+// lockClass is one ranked mutex declaration (a struct field or a
+// package-level variable).
+type lockClass struct {
+	obj  types.Object
+	rank int
+	name string // printable, e.g. "suvm.inflightShard.mu"
+}
+
+var (
+	classesMu    sync.Mutex
+	classesCache = map[*load.Program]map[types.Object]*lockClass{}
+)
+
+func run(pass *analysis.Pass) error {
+	classes := classesFor(pass.Prog)
+	if len(classes) == 0 {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, info: pass.Pkg.Info, classes: classes}
+			w.walkStmts(fd.Body.List, &[]heldLock{})
+			// Function literals run on their own goroutine (or after
+			// the enclosing frame returns): analyze each against an
+			// empty held set.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					w.walkStmts(lit.Body.List, &[]heldLock{})
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type heldLock struct {
+	class *lockClass
+	pos   token.Pos
+}
+
+type walker struct {
+	pass    *analysis.Pass
+	info    *types.Info
+	classes map[types.Object]*lockClass
+}
+
+// walkStmts processes a statement list linearly, mutating held. Nested
+// control-flow bodies are analyzed against a clone of the entry state,
+// so a release on one path does not leak to the others.
+func (w *walker) walkStmts(stmts []ast.Stmt, held *[]heldLock) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *walker) walkStmt(stmt ast.Stmt, held *[]heldLock) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock(): the lock stays held to function end, which
+		// is exactly what leaving it in the held set models. A deferred
+		// Lock would be bizarre; ignore the whole statement.
+	case *ast.GoStmt:
+		// The spawned body runs concurrently with an empty held set;
+		// handled by the function-literal sweep in run.
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		branch := clone(*held)
+		w.walkStmts(s.Body.List, &branch)
+		if s.Else != nil {
+			branch = clone(*held)
+			w.walkStmt(s.Else, &branch)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held)
+		}
+		body := clone(*held)
+		w.walkStmts(s.Body.List, &body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, &body)
+		}
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		body := clone(*held)
+		w.walkStmts(s.Body.List, &body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				branch := clone(*held)
+				w.walkStmts(cc.Body, &branch)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				branch := clone(*held)
+				w.walkStmts(cc.Body, &branch)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				branch := clone(*held)
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm, &branch)
+				}
+				w.walkStmts(cc.Body, &branch)
+			}
+		}
+	default:
+		w.scanExpr(stmt, held)
+	}
+}
+
+// scanExpr finds lock operations anywhere in n (skipping function
+// literals) and applies them to held in traversal order.
+func (w *walker) scanExpr(n ast.Node, held *[]heldLock) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		acquire, ok := lockOp(w.info, sel)
+		if !ok {
+			return true
+		}
+		class := w.classOf(sel.X)
+		if class == nil {
+			return true
+		}
+		if acquire {
+			for _, h := range *held {
+				if h.class.rank > class.rank {
+					w.pass.Report(call.Lparen, "lockorder",
+						"acquires %s (rank %d) while holding %s (rank %d); locks must be taken in increasing rank order",
+						class.name, class.rank, h.class.name, h.class.rank)
+				} else if h.class.rank == class.rank {
+					w.pass.Report(call.Lparen, "lockorder",
+						"acquires %s (rank %d) while already holding %s of the same rank",
+						class.name, class.rank, h.class.name)
+				}
+			}
+			*held = append(*held, heldLock{class: class, pos: call.Lparen})
+		} else {
+			for i := len(*held) - 1; i >= 0; i-- {
+				if (*held)[i].class == class {
+					*held = append((*held)[:i], (*held)[i+1:]...)
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies a selector as a sync mutex acquire/release method.
+func lockOp(info *types.Info, sel *ast.SelectorExpr) (acquire, ok bool) {
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true, true
+	case "Unlock", "RUnlock":
+		return false, true
+	}
+	return false, false
+}
+
+// classOf resolves the receiver expression of a Lock call to its
+// ranked class, if the underlying field or variable carries an
+// //eleos:lockorder directive.
+func (w *walker) classOf(expr ast.Expr) *lockClass {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		if sel := w.info.Selections[e]; sel != nil {
+			return w.classes[sel.Obj()]
+		}
+		// Package-qualified variable (pkg.mu).
+		return w.classes[w.info.Uses[e.Sel]]
+	case *ast.Ident:
+		return w.classes[w.info.Uses[e]]
+	}
+	return nil
+}
+
+func clone(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+func classesFor(prog *load.Program) map[types.Object]*lockClass {
+	classesMu.Lock()
+	defer classesMu.Unlock()
+	if c, ok := classesCache[prog]; ok {
+		return c
+	}
+	c := collectClasses(prog)
+	classesCache[prog] = c
+	return c
+}
+
+// collectClasses finds every //eleos:lockorder-annotated struct field
+// and package-level variable in the program.
+func collectClasses(prog *load.Program) map[types.Object]*lockClass {
+	classes := map[types.Object]*lockClass{}
+	for _, pkg := range prog.Packages {
+		pkgName := pkg.Types.Name()
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					switch spec := spec.(type) {
+					case *ast.TypeSpec:
+						st, ok := spec.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						for _, field := range st.Fields.List {
+							set := directive.Parse(field.Doc, field.Comment)
+							if !set.HasLockRank {
+								continue
+							}
+							for _, name := range field.Names {
+								obj := pkg.Info.Defs[name]
+								if obj == nil {
+									continue
+								}
+								classes[obj] = &lockClass{
+									obj:  obj,
+									rank: set.LockRank,
+									name: pkgName + "." + spec.Name.Name + "." + name.Name,
+								}
+							}
+						}
+					case *ast.ValueSpec:
+						set := directive.Parse(gd.Doc, spec.Doc, spec.Comment)
+						if !set.HasLockRank {
+							continue
+						}
+						for _, name := range spec.Names {
+							obj := pkg.Info.Defs[name]
+							if obj == nil {
+								continue
+							}
+							classes[obj] = &lockClass{
+								obj:  obj,
+								rank: set.LockRank,
+								name: pkgName + "." + name.Name,
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return classes
+}

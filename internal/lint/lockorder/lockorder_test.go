@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"eleos/internal/lint/analysistest"
+	"eleos/internal/lint/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "locks")
+}

@@ -1,0 +1,126 @@
+// Package locks is testdata for the lockorder analyzer.
+package locks
+
+import "sync"
+
+type table struct {
+	// outer is the outermost lock of the fixture hierarchy.
+	//
+	//eleos:lockorder 10
+	outer sync.RWMutex
+
+	//eleos:lockorder 20
+	inner sync.Mutex
+
+	// peer shares inner's rank: one of each may be held, never both.
+	//
+	//eleos:lockorder 20
+	peer sync.Mutex
+
+	// plain carries no rank and is invisible to the analyzer.
+	plain sync.Mutex
+}
+
+//eleos:lockorder 30
+var global sync.Mutex
+
+// InOrder acquires ranks in increasing order: clean.
+func (t *table) InOrder() {
+	t.outer.Lock()
+	t.inner.Lock()
+	global.Lock()
+	global.Unlock()
+	t.inner.Unlock()
+	t.outer.Unlock()
+}
+
+// Deferred releases via defer: locks stay held to function end, which
+// is still in order here: clean.
+func (t *table) Deferred() {
+	t.outer.RLock()
+	defer t.outer.RUnlock()
+	t.inner.Lock()
+	defer t.inner.Unlock()
+}
+
+// Inverted takes the outer lock while holding the inner one: flagged.
+func (t *table) Inverted() {
+	t.inner.Lock()
+	t.outer.RLock() // want "acquires locks.table.outer \\(rank 10\\) while holding locks.table.inner \\(rank 20\\)"
+	t.outer.RUnlock()
+	t.inner.Unlock()
+}
+
+// InvertedDefer holds inner to function end, then takes outer: flagged.
+func (t *table) InvertedDefer() {
+	t.inner.Lock()
+	defer t.inner.Unlock()
+	t.outer.Lock() // want "acquires locks.table.outer \\(rank 10\\) while holding locks.table.inner \\(rank 20\\)"
+	defer t.outer.Unlock()
+}
+
+// SameRank holds two rank-20 locks at once: flagged.
+func (t *table) SameRank() {
+	t.inner.Lock()
+	t.peer.Lock() // want "acquires locks.table.peer \\(rank 20\\) while already holding locks.table.inner"
+	t.peer.Unlock()
+	t.inner.Unlock()
+}
+
+// Sequential re-acquisition of one rank is fine: clean.
+func (t *table) Sequential() {
+	t.inner.Lock()
+	t.inner.Unlock()
+	t.peer.Lock()
+	t.peer.Unlock()
+}
+
+// Branches release on an early-exit path; the main path stays in
+// order: clean.
+func (t *table) Branches(cond bool) {
+	t.outer.RLock()
+	if cond {
+		t.outer.RUnlock()
+		return
+	}
+	t.inner.Lock()
+	t.inner.Unlock()
+	t.outer.RUnlock()
+}
+
+// BranchInverted inverts the order only inside one branch: flagged.
+func (t *table) BranchInverted(cond bool) {
+	t.inner.Lock()
+	if cond {
+		t.outer.Lock() // want "acquires locks.table.outer \\(rank 10\\) while holding locks.table.inner \\(rank 20\\)"
+		t.outer.Unlock()
+	}
+	t.inner.Unlock()
+}
+
+// TryLock counts as an acquisition: flagged.
+func (t *table) Try() {
+	t.inner.Lock()
+	if t.outer.TryRLock() { // want "acquires locks.table.outer \\(rank 10\\) while holding locks.table.inner \\(rank 20\\)"
+		t.outer.RUnlock()
+	}
+	t.inner.Unlock()
+}
+
+// Unranked locks never participate: clean.
+func (t *table) Unranked() {
+	t.plain.Lock()
+	t.outer.Lock()
+	t.outer.Unlock()
+	t.plain.Unlock()
+}
+
+// Goroutine bodies start with an empty held set: clean.
+func (t *table) Spawn() {
+	t.inner.Lock()
+	go func() {
+		t.outer.Lock()
+		t.outer.Unlock()
+	}()
+	t.inner.Unlock()
+}

@@ -1,0 +1,12 @@
+package simdeterminism_test
+
+import (
+	"testing"
+
+	"eleos/internal/lint/analysistest"
+	"eleos/internal/lint/simdeterminism"
+)
+
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", simdeterminism.Analyzer, "det", "nondet")
+}

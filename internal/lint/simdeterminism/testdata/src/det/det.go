@@ -1,0 +1,83 @@
+// Package det is testdata: a cycle-charged package that must stay a
+// pure function of its seeds.
+//
+//eleos:deterministic
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// WallClock reads host time: flagged.
+func WallClock() int64 {
+	t := time.Now() // want "call to time.Now in deterministic package det"
+	return t.Unix()
+}
+
+// Timer schedules against the host clock: flagged.
+func Timer() {
+	time.Sleep(time.Millisecond) // want "call to time.Sleep in deterministic package det"
+}
+
+// AllowedTimer is a documented wall-clock exception: suppressed.
+func AllowedTimer() {
+	//eleos:allow wallclock -- test fixture for the suppression path
+	time.Sleep(time.Millisecond)
+}
+
+// GlobalRand draws from the shared unseeded source: flagged.
+func GlobalRand() int {
+	return rand.Intn(10) // want "call to the process-global rand.Intn in deterministic package det"
+}
+
+// SeededRand draws from an explicit source: clean.
+func SeededRand() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+// Accumulate ranges over a map commutatively: clean.
+func Accumulate(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		if v > 0 {
+			total += v
+		}
+	}
+	return total
+}
+
+// SortedKeys collects keys and sorts before use: clean.
+func SortedKeys(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// PickFirst keeps whichever tied entry iteration meets first: flagged.
+func PickFirst(m map[int]int) int {
+	best, bestScore := -1, -1
+	for k, v := range m { // want "range over map with order-sensitive body in deterministic package det"
+		if v > bestScore {
+			best, bestScore = k, v
+		}
+	}
+	return best
+}
+
+// Emit calls out per entry in iteration order: flagged.
+func Emit(m map[int]int, out func(int)) {
+	for k := range m { // want "range over map with order-sensitive body in deterministic package det"
+		out(k)
+	}
+}
+
+// Duration arithmetic does not read the clock: clean.
+func Duration(n int) time.Duration {
+	return time.Duration(n) * time.Microsecond
+}

@@ -1,0 +1,10 @@
+// Package nondet is testdata: no //eleos:deterministic directive, so
+// the analyzer leaves it alone.
+package nondet
+
+import "time"
+
+// WallClock is fine here; the package is not cycle-charged.
+func WallClock() time.Time {
+	return time.Now()
+}

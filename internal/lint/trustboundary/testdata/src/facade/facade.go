@@ -1,0 +1,15 @@
+// Package facade is a testdata stand-in for the seal/suvm spointer
+// facades: trusted code whose raw arena access is the sanctioned
+// crossing point.
+//
+//eleos:trusted
+//eleos:facade
+package facade
+
+import "hostmem"
+
+// Write seals data out to host memory; the facade annotation makes the
+// raw access legal and stops reachability propagation.
+func Write(a *hostmem.Arena, addr uint64, data []byte) {
+	a.WriteAt(addr, data)
+}

@@ -1,0 +1,17 @@
+// Package hostmem is a testdata stand-in for the real untrusted host
+// memory arena.
+//
+//eleos:untrusted
+package hostmem
+
+// Arena mimics the raw byte accessor surface of the real arena.
+type Arena struct{ b []byte }
+
+func (a *Arena) ReadAt(addr uint64, buf []byte) { copy(buf, a.b[addr:]) }
+
+func (a *Arena) WriteAt(addr uint64, data []byte) { copy(a.b[addr:], data) }
+
+func (a *Arena) Slice(addr uint64, n int) []byte { return a.b[addr : addr+uint64(n)] }
+
+// Stats is a non-raw accessor; calling it from trusted code is fine.
+func (a *Arena) Stats() int { return len(a.b) }

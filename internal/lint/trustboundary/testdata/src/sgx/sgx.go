@@ -1,0 +1,27 @@
+// Package sgx is a testdata stand-in for the simulated platform layer.
+//
+//eleos:platform
+package sgx
+
+import "hostmem"
+
+// Thread mimics the hardware-thread surface.
+type Thread struct{ host *hostmem.Arena }
+
+func (t *Thread) Enter() {}
+
+func (t *Thread) Exit() {}
+
+func (t *Thread) OCall(n int) {}
+
+// HostRead is platform code touching the arena: a barrier, never
+// flagged, and reaching the arena through it is allowed.
+func (t *Thread) HostRead(addr uint64, buf []byte) { t.host.ReadAt(addr, buf) }
+
+// Driver mimics the privileged driver with its EPC content accessor.
+type Driver struct{ frames []byte }
+
+func (d *Driver) frameData(f int) []byte { return d.frames[f:] }
+
+// Reclaim is platform-internal use of EPC contents; fine.
+func (d *Driver) Reclaim(f int) int { return len(d.frameData(f)) }

@@ -1,0 +1,43 @@
+// Package trusted is testdata: enclave code that must reach host
+// memory only through the facade.
+//
+//eleos:trusted
+package trusted
+
+import (
+	"facade"
+	"hostmem"
+)
+
+// Direct raw access from trusted code: flagged.
+func Bad(a *hostmem.Arena) {
+	buf := make([]byte, 8)
+	a.ReadAt(0, buf) // want "trusted function trusted.Bad performs raw host-memory access"
+}
+
+// Indirect raw access through a trusted helper: flagged at the call.
+func BadIndirect(a *hostmem.Arena) {
+	helper(a) // want "trusted function trusted.BadIndirect reaches raw host-memory access"
+}
+
+func helper(a *hostmem.Arena) {
+	a.WriteAt(0, nil) // want "trusted function trusted.helper performs raw host-memory access"
+}
+
+// Good goes through the facade barrier: clean.
+func Good(a *hostmem.Arena) {
+	facade.Write(a, 0, nil)
+}
+
+// Meta calls a non-raw arena method: clean.
+func Meta(a *hostmem.Arena) int {
+	return a.Stats()
+}
+
+// Escape is a per-function override: host-side bookkeeping code inside
+// an otherwise trusted package.
+//
+//eleos:untrusted
+func Escape(a *hostmem.Arena) {
+	a.WriteAt(0, nil)
+}

@@ -1,0 +1,26 @@
+// Package untrusted is testdata: host-side code that must not touch
+// EPC contents or call enclave code.
+//
+//eleos:untrusted
+package untrusted
+
+import (
+	"hostmem"
+	"sgx"
+	"trusted"
+)
+
+// HostTouch reads host memory from host code: clean.
+func HostTouch(a *hostmem.Arena) {
+	a.ReadAt(0, make([]byte, 8))
+}
+
+// EnterEnclave jumps into the enclave from untrusted code: flagged.
+func EnterEnclave(t *sgx.Thread) {
+	t.Enter() // want "untrusted function untrusted.EnterEnclave dereferences enclave \\(EPC\\) memory"
+}
+
+// CallTrusted invokes enclave code directly: flagged.
+func CallTrusted(a *hostmem.Arena) {
+	trusted.Good(a) // want "untrusted function untrusted.CallTrusted calls trusted function trusted.Good"
+}

@@ -1,0 +1,297 @@
+// Package trustboundary enforces the Eleos trust boundary statically.
+//
+// The paper's security argument (§3–§4) needs two properties that the
+// simulator otherwise keeps only by convention: enclave (trusted) code
+// touches untrusted host memory exclusively through the sealing and
+// spointer facades, and untrusted code (RPC workers, the file-system
+// host side, load generators) never dereferences EPC frame contents or
+// calls into enclave code directly.
+//
+// Packages and functions declare their domain with //eleos:trusted,
+// //eleos:untrusted or //eleos:platform doc-comment directives, and
+// sanctioned crossing points with //eleos:facade (see
+// internal/lint/directive). The analyzer builds the static call graph
+// of the whole program and flags:
+//
+//   - a trusted, non-facade function that calls hostmem.Arena raw byte
+//     access (ReadAt/WriteAt/Slice) directly, or that reaches one
+//     through a call chain that never passes a facade or platform
+//     function;
+//   - an untrusted function that calls an EPC-content accessor of the
+//     sgx platform layer, or any trusted function.
+//
+// The call graph is static: calls through interface methods and
+// function values are not resolved (the rpc request trampoline is the
+// documented escape hatch). Facade and platform functions act as
+// barriers in the reachability computation — reaching the arena
+// *through* them is precisely what is allowed.
+package trustboundary
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+
+	"eleos/internal/lint/analysis"
+	"eleos/internal/lint/directive"
+	"eleos/internal/lint/load"
+)
+
+// Analyzer is the trustboundary analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "trustboundary",
+	Doc:  "enforce the enclave trust boundary via //eleos:trusted annotations",
+	Run:  run,
+}
+
+// rawArenaMethods are hostmem.Arena's raw byte accessors.
+var rawArenaMethods = map[string]bool{"ReadAt": true, "WriteAt": true, "Slice": true}
+
+// epcAccessors are sgx-layer methods that expose EPC frame contents or
+// enter the enclave; untrusted code must never call them. Matched by
+// package name, receiver type and method name so the analyzer works on
+// testdata stand-ins too.
+var epcAccessors = map[string]bool{
+	"sgx.Driver.frameData":      true,
+	"sgx.Thread.enclaveAccess":  true,
+	"sgx.Thread.copyResident":   true,
+	"sgx.Thread.streamResident": true,
+	"sgx.Thread.Enter":          true,
+	"sgx.Thread.Exit":           true,
+	"sgx.Thread.OCall":          true,
+}
+
+type edge struct {
+	callee *types.Func
+	pos    token.Pos
+}
+
+// facts is the program-wide view shared by every per-package pass.
+type facts struct {
+	domain map[*types.Func]directive.Domain
+	facade map[*types.Func]bool
+	edges  map[*types.Func][]edge
+	// reach maps each function that can reach a raw arena accessor
+	// without crossing a facade/platform barrier to a printable chain.
+	reach map[*types.Func]string
+}
+
+var (
+	factsMu    sync.Mutex
+	factsCache = map[*load.Program]*facts{}
+)
+
+func run(pass *analysis.Pass) error {
+	f := factsFor(pass.Prog)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			switch f.domain[obj] {
+			case directive.DomainTrusted:
+				if !f.facade[obj] {
+					checkTrusted(pass, f, obj)
+				}
+			case directive.DomainUntrusted:
+				checkUntrusted(pass, f, obj)
+			}
+		}
+	}
+	return nil
+}
+
+// checkTrusted flags calls out of trusted code that reach raw host
+// memory without passing a facade.
+func checkTrusted(pass *analysis.Pass, f *facts, fn *types.Func) {
+	for _, e := range f.edges[fn] {
+		switch {
+		case isRawAccessor(e.callee):
+			pass.Report(e.pos, "rawhostmem",
+				"trusted function %s performs raw host-memory access %s; go through the seal/suvm spointer facades",
+				shortName(fn), shortName(e.callee))
+		case !barrier(f, e.callee):
+			if chain, ok := f.reach[e.callee]; ok {
+				pass.Report(e.pos, "rawhostmem",
+					"trusted function %s reaches raw host-memory access: %s",
+					shortName(fn), chain)
+			}
+		}
+	}
+}
+
+// checkUntrusted flags untrusted code touching EPC contents or calling
+// into the enclave.
+func checkUntrusted(pass *analysis.Pass, f *facts, fn *types.Func) {
+	for _, e := range f.edges[fn] {
+		if epcAccessors[qualifiedKey(e.callee)] {
+			pass.Report(e.pos, "epcaccess",
+				"untrusted function %s dereferences enclave (EPC) memory via %s",
+				shortName(fn), shortName(e.callee))
+			continue
+		}
+		if f.domain[e.callee] == directive.DomainTrusted {
+			pass.Report(e.pos, "callstrusted",
+				"untrusted function %s calls trusted function %s; enclave entry goes through the sgx platform layer only",
+				shortName(fn), shortName(e.callee))
+		}
+	}
+}
+
+func factsFor(prog *load.Program) *facts {
+	factsMu.Lock()
+	defer factsMu.Unlock()
+	if f, ok := factsCache[prog]; ok {
+		return f
+	}
+	f := build(prog)
+	factsCache[prog] = f
+	return f
+}
+
+// build computes domains, the call graph, and barrier-aware
+// reachability to the raw arena accessors for the whole program.
+func build(prog *load.Program) *facts {
+	f := &facts{
+		domain: map[*types.Func]directive.Domain{},
+		facade: map[*types.Func]bool{},
+		edges:  map[*types.Func][]edge{},
+		reach:  map[*types.Func]string{},
+	}
+	for _, pkg := range prog.Packages {
+		pkgSet := directive.ForPackage(pkg.Files)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				set := pkgSet
+				set.Merge(directive.ForFunc(fd))
+				f.domain[obj] = set.Domain
+				f.facade[obj] = set.Facade
+				if fd.Body != nil {
+					collectEdges(pkg.Info, obj, fd.Body, f)
+				}
+			}
+		}
+	}
+
+	// Reverse-BFS from the raw accessors. A function joins the reach
+	// set when a callee in the set is not a barrier; barriers join the
+	// set (their direct raw access is visible to their own callers'
+	// checks) but never propagate membership upward.
+	rev := map[*types.Func][]*types.Func{}
+	var queue []*types.Func
+	for caller, es := range f.edges {
+		for _, e := range es {
+			rev[e.callee] = append(rev[e.callee], caller)
+			if isRawAccessor(e.callee) && f.reach[caller] == "" {
+				f.reach[caller] = shortName(caller) + " calls " + shortName(e.callee)
+				queue = append(queue, caller)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if barrier(f, fn) {
+			continue
+		}
+		for _, caller := range rev[fn] {
+			if f.reach[caller] == "" {
+				f.reach[caller] = shortName(caller) + " -> " + f.reach[fn]
+				queue = append(queue, caller)
+			}
+		}
+	}
+	return f
+}
+
+// collectEdges records every statically resolvable call in body as an
+// edge out of fn. Calls inside function literals are attributed to the
+// enclosing declaration: a closure runs in its creator's trust domain.
+func collectEdges(info *types.Info, fn *types.Func, body *ast.BlockStmt, f *facts) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if callee := analysis.StaticCallee(info, call); callee != nil {
+			f.edges[fn] = append(f.edges[fn], edge{callee: callee, pos: call.Lparen})
+		}
+		return true
+	})
+}
+
+func barrier(f *facts, fn *types.Func) bool {
+	return f.facade[fn] || f.domain[fn] == directive.DomainPlatform
+}
+
+func isRawAccessor(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Name() != "hostmem" || !rawArenaMethods[fn.Name()] {
+		return false
+	}
+	return recvTypeName(fn) == "Arena"
+}
+
+// qualifiedKey renders "pkg.Recv.Method" (or "pkg.Func") for matching
+// against the epcAccessors table.
+func qualifiedKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if r := recvTypeName(fn); r != "" {
+		return fn.Pkg().Name() + "." + r + "." + fn.Name()
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+// recvTypeName returns the bare receiver type name of a method ("" for
+// plain functions).
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// shortName renders pkg.Name or pkg.(*Recv).Name for messages.
+func shortName(fn *types.Func) string {
+	var b strings.Builder
+	if fn.Pkg() != nil {
+		b.WriteString(fn.Pkg().Name())
+		b.WriteString(".")
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if r := recvTypeName(fn); r != "" {
+			if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
+				b.WriteString("(*" + r + ").")
+			} else {
+				b.WriteString(r + ".")
+			}
+		}
+	}
+	b.WriteString(fn.Name())
+	return b.String()
+}

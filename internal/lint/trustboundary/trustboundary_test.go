@@ -1,0 +1,13 @@
+package trustboundary_test
+
+import (
+	"testing"
+
+	"eleos/internal/lint/analysistest"
+	"eleos/internal/lint/trustboundary"
+)
+
+func TestTrustBoundary(t *testing.T) {
+	analysistest.Run(t, "testdata", trustboundary.Analyzer,
+		"trusted", "untrusted", "facade", "sgx", "hostmem")
+}

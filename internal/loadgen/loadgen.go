@@ -4,6 +4,13 @@
 // optional Zipfian skew, and batch requests of configurable size.
 // Everything is seeded, so two benchmark runs draw identical request
 // sequences.
+//
+// Trust domain: untrusted (the client machine). Also checked by
+// eleoslint for determinism: generators draw only from their seeded
+// *rand.Rand, never from the process-global source.
+//
+//eleos:untrusted
+//eleos:deterministic
 package loadgen
 
 import (

@@ -5,6 +5,12 @@
 // traffic whose cache footprint is exactly the pollution §2.2.1
 // quantifies; end-to-end throughput is additionally capped by the link
 // (which is what bounds the native face-verification server in Fig 10).
+//
+// Trust domain: untrusted — the NIC, kernel network stack and client
+// live outside the enclave. Cycle-charged, hence deterministic.
+//
+//eleos:untrusted
+//eleos:deterministic
 package netsim
 
 import (
@@ -58,6 +64,12 @@ func (s *Socket) Close() {
 // Deliver places a request payload into the simulated NIC/kernel path,
 // without charging anyone: the DMA engine and the remote client are not
 // the server's CPU. Benchmarks call it to stage the next request.
+//
+// Marked platform for the trust-boundary analyzer: Deliver plays the
+// NIC's DMA engine, hardware writing the wire bytes into the host
+// receive ring, not the calling thread touching host memory.
+//
+//eleos:platform
 func (s *Socket) Deliver(payload []byte) {
 	if uint64(len(payload)) > s.userSize {
 		panic("netsim: payload larger than socket buffer")

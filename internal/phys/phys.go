@@ -5,6 +5,12 @@
 //
 //	[0, EPCLimit)            processor reserved memory (EPC frames)
 //	[HostBase, HostLimit)    untrusted host DRAM
+//
+// Trust domain: platform (pure address arithmetic shared by both
+// sides; no memory contents pass through here).
+//
+//eleos:platform
+//eleos:deterministic
 package phys
 
 // PageSize is the architectural page size.

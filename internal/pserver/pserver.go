@@ -5,6 +5,13 @@
 // the axes those figures sweep: data size, hash-table layout (open
 // addressing vs chaining), data placement (untrusted memory, EPC, or
 // SUVM) and system-call mechanism (native, OCALL, or Eleos RPC).
+//
+// Trust domain: trusted — the server's request loop is enclave code
+// (the network path crosses the boundary via netsim and rpc, which
+// carry their own annotations).
+//
+//eleos:trusted
+//eleos:deterministic
 package pserver
 
 import (

@@ -1,7 +1,10 @@
 // Package report renders the fixed-width tables and series the
 // benchmark harness prints — the same rows and columns the paper's
 // tables and figures report, so paper-vs-measured comparison is a
-// side-by-side read.
+// side-by-side read. Rendered output is diffed against goldens, so the
+// package is checked by eleoslint for determinism.
+//
+//eleos:deterministic
 package report
 
 import (

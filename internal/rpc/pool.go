@@ -294,6 +294,11 @@ func (p *Pool) dequeueFor(i int) (req *request, stolen bool) {
 	return nil, false
 }
 
+// workerLoop is the untrusted worker body: it runs on a host thread,
+// polls the rings, and executes requests in a host context. It must
+// never touch EPC contents or call enclave code.
+//
+//eleos:untrusted
 func (p *Pool) workerLoop(i int, stopC chan struct{}) {
 	defer p.wg.Done()
 	w := p.ws[i]
@@ -333,7 +338,11 @@ func (p *Pool) workerLoop(i int, stopC chan struct{}) {
 // sleep is the bottom rung of the backoff ladder. The worker registers
 // as sleeping, re-checks the published depth (a submitter raises depth
 // before it could ever need a wake, so this re-check closes the race),
-// and only then blocks until an enqueue or Stop wakes it.
+// and only then blocks until an enqueue or Stop wakes it. Runs on the
+// untrusted worker thread (a host thread may futex-sleep; an enclave
+// thread may not).
+//
+//eleos:untrusted
 func (p *Pool) sleep(w *worker, stopC chan struct{}) {
 	w.sleeping.Store(true)
 	p.sleeps.Add(1)

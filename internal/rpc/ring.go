@@ -18,6 +18,17 @@
 // CallAsync whose Wait charges only the latency the caller's own compute
 // did not hide, and CallBatch, which publishes N descriptors under a
 // single amortized charge.
+//
+// Trust domain: rpc is the boundary object itself. The submission
+// surface (Call, CallAsync, CallBatch) runs on enclave threads; the
+// worker loop runs on untrusted host threads and carries a per-function
+// //eleos:untrusted annotation — eleoslint's trustboundary analyzer
+// checks that the worker side never touches EPC contents or calls
+// trusted code (the request trampoline req.fn is the one, deliberately
+// dynamic, escape hatch). The package is cycle-charged, hence also
+// marked deterministic.
+//
+//eleos:deterministic
 package rpc
 
 import (

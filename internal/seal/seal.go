@@ -8,6 +8,16 @@
 // The cryptography is real — tampered or replayed pages genuinely fail
 // to open — while the cycle cost charged to the simulated thread follows
 // the AES-NI cost model rather than host wall-clock time.
+//
+// Trust domain: seal is trusted enclave code and, with suvm, one of the
+// two sanctioned facades through which trusted code may touch raw
+// untrusted host memory (ciphertext lands there by design). The cycle
+// model is deterministic; the crypto nonces draw from crypto/rand,
+// which affects ciphertext bytes but never cycle charges.
+//
+//eleos:trusted
+//eleos:facade
+//eleos:deterministic
 package seal
 
 import (

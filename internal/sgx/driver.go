@@ -3,6 +3,7 @@ package sgx
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"eleos/internal/phys"
@@ -35,6 +36,7 @@ type Driver struct {
 	// frames backs every usable PRM frame with real storage.
 	frames []byte
 
+	//eleos:lockorder 110
 	mu         sync.Mutex
 	freeFrames []int32
 	enclaves   map[int]*Enclave
@@ -278,9 +280,20 @@ func (d *Driver) reclaimLocked(th *Thread, faulting *Enclave) {
 // resident pages. Called with d.mu held.
 func (d *Driver) pickVictimEnclaveLocked(faulting *Enclave) *Enclave {
 	quota := d.quotaFrames()
+	// Walk enclaves in id order: Go randomizes map iteration, and the
+	// score comparison below breaks ties in walk order — letting the
+	// map decide would let the victim choice (and with it the golden
+	// cycle fingerprints) vary run to run. Sorted ids break ties toward
+	// the oldest enclave.
+	ids := make([]int, 0, len(d.enclaves))
+	for id := range d.enclaves {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var best *Enclave
 	bestScore := math.MinInt
-	for _, e := range d.enclaves {
+	for _, id := range ids {
+		e := d.enclaves[id]
 		r := e.residentCount()
 		if r == 0 {
 			continue

@@ -66,6 +66,8 @@ type Enclave struct {
 	// pagingMu protects pages/resident/heap bookkeeping. Data-path
 	// accesses to resident pages hold it for reading; paging operations
 	// hold it for writing. Never acquire Driver.mu while holding it.
+	//
+	//eleos:lockorder 120
 	pagingMu  sync.RWMutex
 	pages     []page
 	resident  []uint32 // page indices with state==pageResident (clock ring)
@@ -73,6 +75,7 @@ type Enclave struct {
 
 	allocNext uint64 // bump pointer for Alloc, relative to HeapBase
 
+	//eleos:lockorder 130
 	threadMu sync.Mutex
 	threads  []*Thread
 

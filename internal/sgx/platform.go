@@ -10,6 +10,15 @@
 // thread that incurs it. Evicted EPC pages are genuinely AES-GCM sealed
 // into untrusted memory and verified on page-in, so the security
 // semantics (privacy, integrity, freshness) are testable, not asserted.
+//
+// Trust domain: platform. This package is the simulated hardware plus
+// the privileged host kernel (the SGX driver), which by definition
+// straddle the trust boundary; it is exempt from the trusted/untrusted
+// call rules and acts as a barrier in eleoslint's reachability
+// analysis. It is cycle-charged and must stay deterministic.
+//
+//eleos:platform
+//eleos:deterministic
 package sgx
 
 import (

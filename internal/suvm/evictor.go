@@ -34,6 +34,7 @@ type framePool struct {
 }
 
 type freeShard struct {
+	//eleos:lockorder 50
 	mu     sync.Mutex
 	frames []int32
 }
@@ -154,6 +155,7 @@ func evictable(fm *frameMeta) bool {
 // clockEvictor is second-chance clock: skip frames whose reference bit
 // is set (clearing it), take the first cold unpinned frame.
 type clockEvictor struct {
+	//eleos:lockorder 40
 	mu   sync.Mutex
 	hand int
 }
@@ -191,6 +193,7 @@ func (c *clockEvictor) pick(h *Heap) int32 {
 
 // fifoEvictor cycles through frames in index order.
 type fifoEvictor struct {
+	//eleos:lockorder 40
 	mu   sync.Mutex
 	hand int
 }
@@ -215,6 +218,7 @@ func (f *fifoEvictor) pick(h *Heap) int32 {
 
 // randomEvictor probes xorshift-random frames.
 type randomEvictor struct {
+	//eleos:lockorder 40
 	mu  sync.Mutex
 	rng uint64
 }

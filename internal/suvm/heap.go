@@ -14,6 +14,17 @@
 // store are AES-GCM sealed with a fresh nonce and verified (integrity +
 // freshness) on the way back in, matching the guarantees of SGX's own
 // EWB/ELDU paging.
+//
+// Trust domain: suvm is trusted enclave code, and it is the sanctioned
+// facade through which trusted code reaches raw untrusted host memory —
+// every crossing seals on the way out and verifies on the way in. It is
+// also cycle-charged, so it must stay deterministic: virtual time only,
+// seeded randomness only, no map-iteration-order dependence. These
+// properties are enforced by eleoslint (see internal/lint).
+//
+//eleos:trusted
+//eleos:facade
+//eleos:deterministic
 package suvm
 
 import (
@@ -153,8 +164,9 @@ type Heap struct {
 	// page-cached half and a direct-access half, each with its own
 	// buddy allocator so the two sealing granularities never share a
 	// page (§3.2.4: the prototype cannot mix modes within a page).
-	bsBase     uint64
-	bsSize     uint64
+	bsBase uint64
+	bsSize uint64
+	//eleos:lockorder 5
 	allocMu    sync.Mutex
 	cachedBS   *hostmem.Buddy
 	directBS   *hostmem.Buddy
@@ -178,7 +190,8 @@ type Heap struct {
 	free     *framePool
 	ev       evictor
 	inflight *inflightTable
-	epoch    sync.RWMutex
+	//eleos:lockorder 10
+	epoch sync.RWMutex
 
 	resident *residentTable
 	meta     *metaTable
@@ -186,6 +199,7 @@ type Heap struct {
 	// Mounted inter-enclave segments (§8's proposed extension): each
 	// occupies a range of pseudo backing-store page numbers above
 	// segPageBase, resolved to its own host region and sealing key.
+	//eleos:lockorder 12
 	segMu    sync.Mutex
 	segs     []*mountedSeg
 	nextSegP uint64
@@ -197,6 +211,7 @@ type Heap struct {
 	// effect that bends Fig 7a beyond 1 GiB.
 	iptBase  uint64
 	iptSlots uint64
+	//eleos:lockorder 70
 	metaMu   sync.Mutex
 	metaBase map[uint64]uint64 // chunk index -> enclave vaddr
 

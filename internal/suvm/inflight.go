@@ -17,6 +17,7 @@ type inflightTable struct {
 }
 
 type inflightShard struct {
+	//eleos:lockorder 20
 	mu sync.Mutex
 	m  map[uint64]*inflightOp
 }

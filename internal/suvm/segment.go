@@ -22,6 +22,7 @@ import (
 // perform over a local-attestation channel; holding the handle is
 // holding the key.
 type Segment struct {
+	//eleos:lockorder 2
 	mu       sync.Mutex
 	plat     *sgx.Platform
 	sealer   *seal.Sealer

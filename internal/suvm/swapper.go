@@ -164,6 +164,7 @@ func (h *Heap) BalloonTick(th *sgx.Thread) error {
 type Swapper struct {
 	h  *Heap
 	th *sgx.Thread
+	//eleos:lockorder 1
 	mu sync.Mutex // serializes ticks (background loop vs TickNow)
 
 	stop chan struct{} // nil in manual mode
@@ -188,6 +189,7 @@ func (h *Heap) StartSwapper(interval time.Duration) *Swapper {
 	s.done.Add(1)
 	go func() {
 		defer s.done.Done()
+		//eleos:allow wallclock -- StartSwapper IS the wall-clock mode; deterministic runs use NewSwapper+TickNow
 		t := time.NewTicker(interval)
 		defer t.Stop()
 		for {

@@ -21,6 +21,7 @@ type residentTable struct {
 }
 
 type residentShard struct {
+	//eleos:lockorder 30
 	mu sync.Mutex
 	m  map[uint64]int32
 }
@@ -46,6 +47,7 @@ type metaTable struct {
 }
 
 type metaShard struct {
+	//eleos:lockorder 60
 	mu sync.Mutex
 	m  map[uint64]*pageMeta
 }

@@ -4,6 +4,10 @@
 // the TLB (so pointer-chasing workloads pay page walks again after each
 // system call, Fig 2b), and hardware EPC page eviction requires TLB
 // shootdown IPIs to every core that may cache the mapping (Table 2).
+//
+// Cycle-charged and checked by eleoslint for determinism.
+//
+//eleos:deterministic
 package tlb
 
 import (

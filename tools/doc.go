@@ -1,0 +1,6 @@
+// Package tools pins the versions of developer tooling this repository
+// uses but does not link into any binary. The pins live in tools.go
+// behind the "tools" build tag (the conventional tool-dependency
+// pattern), so they are visible to `go mod` bookkeeping without ever
+// being compiled into the simulator.
+package tools

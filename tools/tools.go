@@ -1,0 +1,12 @@
+//go:build tools
+
+package tools
+
+// staticcheck complements the custom eleoslint analyzers in `make
+// lint`. The import is behind the tools tag so an offline build of the
+// module never needs the dependency: the Makefile runs staticcheck only
+// when the binary is installed, and CI installs exactly this pinned
+// path (see .github/workflows/ci.yml and staticcheck.conf).
+import (
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
