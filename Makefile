@@ -6,8 +6,9 @@
 #   make lint    — the static-invariant gate alone: the custom eleoslint
 #                  analyzers (trust boundary, determinism, lock order)
 #                  plus staticcheck when it is installed
-#   make bench   — regenerate the async-RPC microbenchmark artifacts
-#                  (BENCH_rpc_async.json in the repo root)
+#   make bench   — regenerate the exit-less I/O microbenchmark artifacts
+#                  (BENCH_rpc_async.json and BENCH_io_engine.json in the
+#                  repo root)
 #   make test    — plain test run, no race detector
 
 GO ?= go
@@ -57,4 +58,4 @@ staticcheck:
 	fi
 
 bench:
-	$(GO) run ./cmd/eleos-bench -quick -run rpc-async -json .
+	$(GO) run ./cmd/eleos-bench -quick -run rpc-async,io-engine -json .

@@ -49,6 +49,7 @@ func BenchmarkFig2bTLBFlush(b *testing.B)           { runExperiment(b, "fig2b") 
 func BenchmarkFig6aRPCDirectCost(b *testing.B)     { runExperiment(b, "fig6a") }
 func BenchmarkFig6bCachePartitioning(b *testing.B) { runExperiment(b, "fig6b") }
 func BenchmarkFig6cTLBElimination(b *testing.B)    { runExperiment(b, "fig6c") }
+func BenchmarkIOEngine(b *testing.B)               { runExperiment(b, "io-engine") }
 
 // §6.1.2 SUVM microbenchmarks.
 

@@ -19,7 +19,10 @@ import (
 	"strconv"
 	"strings"
 
+	"eleos/internal/exitio"
 	"eleos/internal/faceverify"
+	"eleos/internal/netsim"
+	"eleos/internal/rpc"
 	"eleos/internal/sgx"
 	"eleos/internal/suvm"
 )
@@ -29,10 +32,26 @@ func main() {
 		listen     = flag.String("listen", "127.0.0.1:4600", "TCP listen address")
 		identities = flag.Uint64("identities", 64, "enrolled population size")
 		epcppMB    = flag.Int("epcpp", 60, "SUVM page cache size in MiB")
+		syscall    = flag.String("syscall", "rpc-async", "simulated syscall dispatch: native|ocall|rpc|rpc-async")
+		workers    = flag.Int("rpc-workers", 2, "untrusted RPC worker count (rpc modes)")
 	)
 	flag.Parse()
+	mode, err := exitio.ParseMode(*syscall)
+	if err != nil {
+		log.Fatalf("faceserverd: %v", err)
+	}
 
 	plat, err := sgx.NewPlatform(sgx.Config{})
+	if err != nil {
+		log.Fatalf("faceserverd: %v", err)
+	}
+	var pool *rpc.Pool
+	if mode.NeedsPool() {
+		pool = rpc.NewPool(plat, *workers, 256)
+		pool.Start()
+		defer pool.Stop()
+	}
+	eng, err := exitio.NewEngine(mode, pool)
 	if err != nil {
 		log.Fatalf("faceserverd: %v", err)
 	}
@@ -65,28 +84,44 @@ func main() {
 	if err != nil {
 		log.Fatalf("faceserverd: %v", err)
 	}
-	log.Printf("faceserverd: serving on %s", ln.Addr())
+	log.Printf("faceserverd: serving on %s (syscall=%s)", ln.Addr(), mode)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			log.Printf("faceserverd: accept: %v", err)
 			continue
 		}
-		go serve(conn, encl, heap, store)
+		go serve(conn, encl, heap, store, eng)
 	}
 }
 
-func serve(conn net.Conn, encl *sgx.Enclave, heap *suvm.Heap, store *faceverify.Store) {
+func serve(conn net.Conn, encl *sgx.Enclave, heap *suvm.Heap, store *faceverify.Store, eng *exitio.Engine) {
 	defer conn.Close()
 	th := encl.NewThread()
 	th.Enter()
 	defer th.Exit()
+	// Mirror each real TCP transfer as a simulated syscall on the
+	// exit-less engine, so STATS cycle counts include the I/O path.
+	sock := netsim.NewSocket(encl.Platform(), 64<<10)
+	defer sock.Close()
+	q := eng.NewQueue()
+	account := func(op exitio.Op) bool {
+		q.Push(op)
+		cqes, err := q.SubmitAndWait(th)
+		if err != nil || exitio.FirstErr(cqes) != nil {
+			return false
+		}
+		return true
+	}
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	desc := make([]byte, faceverify.DescriptorBytes)
 	for {
 		line, err := r.ReadString('\n')
 		if err != nil {
+			return
+		}
+		if !account(exitio.Recv{Sock: sock, N: len(line)}) {
 			return
 		}
 		fields := strings.Fields(line)
@@ -99,8 +134,9 @@ func serve(conn net.Conn, encl *sgx.Enclave, heap *suvm.Heap, store *faceverify.
 			return
 		case "STATS":
 			st := heap.Stats()
-			fmt.Fprintf(w, "identities=%d sw_faults=%d evictions=%d clean_drops=%d cycles=%d\n",
-				store.Identities(), st.MajorFaults, st.Evictions, st.CleanDrops, th.T.Cycles())
+			io := eng.Stats()
+			fmt.Fprintf(w, "identities=%d sw_faults=%d evictions=%d clean_drops=%d cycles=%d io_mode=%s io_doorbells=%d\n",
+				store.Identities(), st.MajorFaults, st.Evictions, st.CleanDrops, th.T.Cycles(), eng.Mode(), io.Doorbells)
 		case "VERIFY":
 			if len(fields) != 3 {
 				fmt.Fprintf(w, "ERROR usage: VERIFY <identity> <variant>\n")
@@ -127,6 +163,11 @@ func serve(conn net.Conn, encl *sgx.Enclave, heap *suvm.Heap, store *faceverify.
 			fmt.Fprintf(w, "%s %.0f\n", verdict, d)
 		default:
 			fmt.Fprintf(w, "ERROR unknown command\n")
+		}
+		if n := w.Buffered(); n > 0 {
+			if !account(exitio.Send{Sock: sock, N: n}) {
+				return
+			}
 		}
 		if err := w.Flush(); err != nil {
 			return

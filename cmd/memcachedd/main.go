@@ -15,7 +15,9 @@ import (
 	"net"
 	"os"
 
+	"eleos/internal/exitio"
 	"eleos/internal/mckv"
+	"eleos/internal/rpc"
 	"eleos/internal/sgx"
 	"eleos/internal/suvm"
 )
@@ -26,10 +28,27 @@ func main() {
 		memMB     = flag.Int("mem", 256, "item memory limit in MiB")
 		placement = flag.String("placement", "suvm", "item payload placement: suvm|suvm-direct|epc|host")
 		epcppMB   = flag.Int("epcpp", 60, "SUVM page cache (EPC++) size in MiB")
+		syscall   = flag.String("syscall", "rpc-async", "simulated syscall dispatch: native|ocall|rpc|rpc-async")
+		workers   = flag.Int("rpc-workers", 2, "untrusted RPC worker count (rpc modes)")
 	)
 	flag.Parse()
+	mode, err := exitio.ParseMode(*syscall)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memcachedd: %v\n", err)
+		os.Exit(2)
+	}
 
 	plat, err := sgx.NewPlatform(sgx.Config{})
+	if err != nil {
+		log.Fatalf("memcachedd: %v", err)
+	}
+	var pool *rpc.Pool
+	if mode.NeedsPool() {
+		pool = rpc.NewPool(plat, *workers, 256)
+		pool.Start()
+		defer pool.Stop()
+	}
+	eng, err := exitio.NewEngine(mode, pool)
 	if err != nil {
 		log.Fatalf("memcachedd: %v", err)
 	}
@@ -77,7 +96,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("memcachedd: %v", err)
 	}
-	log.Printf("memcachedd: serving on %s (placement=%s, mem=%dMiB)", ln.Addr(), pl, *memMB)
+	log.Printf("memcachedd: serving on %s (placement=%s, mem=%dMiB, syscall=%s)", ln.Addr(), pl, *memMB, mode)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -87,7 +106,7 @@ func main() {
 		go func() {
 			th := encl.NewThread()
 			th.Enter()
-			if err := mckv.ServeConn(conn, store, th); err != nil {
+			if err := mckv.ServeConnIO(conn, store, th, eng); err != nil {
 				log.Printf("memcachedd: connection: %v", err)
 			}
 			th.Exit()

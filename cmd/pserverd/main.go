@@ -19,7 +19,10 @@ import (
 	"strings"
 	"sync"
 
+	"eleos/internal/exitio"
 	"eleos/internal/kv"
+	"eleos/internal/netsim"
+	"eleos/internal/rpc"
 	"eleos/internal/sgx"
 	"eleos/internal/suvm"
 )
@@ -30,10 +33,26 @@ func main() {
 		dataMB  = flag.Int("data", 64, "parameter data size in MiB")
 		epcppMB = flag.Int("epcpp", 60, "SUVM page cache size in MiB")
 		chain   = flag.Bool("chaining", false, "use a chaining hash table instead of open addressing")
+		syscall = flag.String("syscall", "rpc-async", "simulated syscall dispatch: native|ocall|rpc|rpc-async")
+		workers = flag.Int("rpc-workers", 2, "untrusted RPC worker count (rpc modes)")
 	)
 	flag.Parse()
+	mode, err := exitio.ParseMode(*syscall)
+	if err != nil {
+		log.Fatalf("pserverd: %v", err)
+	}
 
 	plat, err := sgx.NewPlatform(sgx.Config{})
+	if err != nil {
+		log.Fatalf("pserverd: %v", err)
+	}
+	var pool *rpc.Pool
+	if mode.NeedsPool() {
+		pool = rpc.NewPool(plat, *workers, 256)
+		pool.Start()
+		defer pool.Stop()
+	}
+	eng, err := exitio.NewEngine(mode, pool)
 	if err != nil {
 		log.Fatalf("pserverd: %v", err)
 	}
@@ -73,14 +92,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("pserverd: %v", err)
 	}
-	log.Printf("pserverd: serving on %s (%s, %d entries capacity, SUVM-backed)", ln.Addr(), layout, entries)
+	log.Printf("pserverd: serving on %s (%s, %d entries capacity, SUVM-backed, syscall=%s)",
+		ln.Addr(), layout, entries, mode)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			log.Printf("pserverd: accept: %v", err)
 			continue
 		}
-		go serve(conn, encl, heap, table)
+		go serve(conn, encl, heap, table, eng)
 	}
 }
 
@@ -89,16 +109,32 @@ func main() {
 // the daemon provides the lock.
 var tableMu sync.Mutex
 
-func serve(conn net.Conn, encl *sgx.Enclave, heap *suvm.Heap, table *kv.FixedTable) {
+func serve(conn net.Conn, encl *sgx.Enclave, heap *suvm.Heap, table *kv.FixedTable, eng *exitio.Engine) {
 	defer conn.Close()
 	th := encl.NewThread()
 	th.Enter()
 	defer th.Exit()
+	// Mirror each real TCP transfer as a simulated syscall on the
+	// exit-less engine, so STATS cycle counts include the I/O path.
+	sock := netsim.NewSocket(encl.Platform(), 64<<10)
+	defer sock.Close()
+	q := eng.NewQueue()
+	account := func(op exitio.Op) bool {
+		q.Push(op)
+		cqes, err := q.SubmitAndWait(th)
+		if err != nil || exitio.FirstErr(cqes) != nil {
+			return false
+		}
+		return true
+	}
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
 		line, err := r.ReadString('\n')
 		if err != nil {
+			return
+		}
+		if !account(exitio.Recv{Sock: sock, N: len(line)}) {
 			return
 		}
 		fields := strings.Fields(line)
@@ -111,8 +147,9 @@ func serve(conn net.Conn, encl *sgx.Enclave, heap *suvm.Heap, table *kv.FixedTab
 			return
 		case "STATS":
 			st := heap.Stats()
-			fmt.Fprintf(w, "entries=%d sw_faults=%d minor=%d evictions=%d cycles=%d\n",
-				table.Len(), st.MajorFaults, st.MinorFaults, st.Evictions, th.T.Cycles())
+			io := eng.Stats()
+			fmt.Fprintf(w, "entries=%d sw_faults=%d minor=%d evictions=%d cycles=%d io_mode=%s io_doorbells=%d\n",
+				table.Len(), st.MajorFaults, st.MinorFaults, st.Evictions, th.T.Cycles(), eng.Mode(), io.Doorbells)
 		case "ADD":
 			if len(fields) != 3 {
 				fmt.Fprintf(w, "ERROR usage: ADD <key> <delta>\n")
@@ -156,6 +193,11 @@ func serve(conn net.Conn, encl *sgx.Enclave, heap *suvm.Heap, table *kv.FixedTab
 			fmt.Fprintf(w, "VALUE %d\n", v)
 		default:
 			fmt.Fprintf(w, "ERROR unknown command\n")
+		}
+		if n := w.Buffered(); n > 0 {
+			if !account(exitio.Send{Sock: sock, N: n}) {
+				return
+			}
 		}
 		if err := w.Flush(); err != nil {
 			return

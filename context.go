@@ -3,6 +3,7 @@ package eleos
 import (
 	"time"
 
+	"eleos/internal/exitio"
 	"eleos/internal/rpc"
 	"eleos/internal/sgx"
 )
@@ -14,6 +15,7 @@ import (
 type Ctx struct {
 	e  *Enclave
 	th *sgx.Thread
+	io *IOQueue
 }
 
 // NewContext creates and enters a fresh hardware thread.
@@ -113,6 +115,66 @@ func (f *Future) Raw() *rpc.Future { return f.f }
 func (c *Ctx) OCall(fn func(*HostCtx)) {
 	c.th.OCall(fn)
 }
+
+// IO returns the context's exit-less I/O queue on the runtime's shared
+// engine (rpc-async dispatch), creating it on first use. Typed ops
+// replace hand-rolled Exitless closures for OS services:
+//
+//	q := ctx.IO()
+//	q.Push(eleos.IOPwrite{FS: fs, FD: fd, Off: off, Data: frame})
+//	q.PushLinked(eleos.IOFsync{FS: fs, FD: fd}) // same doorbell
+//	cqes, _ := q.SubmitAndWait()
+func (c *Ctx) IO() *IOQueue {
+	if c.io == nil {
+		c.io = &IOQueue{q: c.e.rt.io.NewQueue(), c: c}
+	}
+	return c.io
+}
+
+// IOQueue is a context-bound exit-less I/O submission/completion
+// queue: exitio.Queue with the owning context's thread implied. It is
+// owned by its context's goroutine.
+type IOQueue struct {
+	q *exitio.Queue
+	c *Ctx
+}
+
+// Raw returns the engine-level queue (for use with explicit threads).
+func (q *IOQueue) Raw() *exitio.Queue { return q.q }
+
+// Push stages op as the start of a new chain.
+func (q *IOQueue) Push(op IOOp) { q.q.Push(op) }
+
+// PushTagged stages op with a caller-chosen tag echoed in its CQE.
+func (q *IOQueue) PushTagged(op IOOp, tag uint64) { q.q.PushTagged(op, tag) }
+
+// PushLinked stages op linked to the previously staged op: one
+// doorbell, ordered execution, failure cancels the rest of the chain.
+func (q *IOQueue) PushLinked(op IOOp) { q.q.PushLinked(op) }
+
+// PushLinkedTagged is PushLinked with a completion tag.
+func (q *IOQueue) PushLinkedTagged(op IOOp, tag uint64) { q.q.PushLinkedTagged(op, tag) }
+
+// Staged returns the number of staged, not-yet-submitted ops.
+func (q *IOQueue) Staged() int { return q.q.Staged() }
+
+// InFlight returns the number of submitted ops not yet reaped.
+func (q *IOQueue) InFlight() int { return q.q.InFlight() }
+
+// Submit rings the doorbell for everything staged; completions are
+// reaped later (Reap/WaitN) with residual-latency accounting.
+func (q *IOQueue) Submit() error { return q.q.Submit(q.c.th) }
+
+// SubmitAndWait submits everything staged and returns all completions
+// in submission order.
+func (q *IOQueue) SubmitAndWait() ([]CQE, error) { return q.q.SubmitAndWait(q.c.th) }
+
+// Reap returns the completions available right now without blocking.
+func (q *IOQueue) Reap() []CQE { return q.q.Reap(q.c.th) }
+
+// WaitN blocks until at least n completions are available (or nothing
+// is in flight), then returns all of them.
+func (q *IOQueue) WaitN(n int) []CQE { return q.q.WaitN(q.c.th, n) }
 
 // Read accesses memory at a simulated virtual address (enclave-private
 // or untrusted, by address range).

@@ -32,6 +32,8 @@ import (
 	"time"
 
 	"eleos/internal/cycles"
+	"eleos/internal/exitio"
+	"eleos/internal/fsim"
 	"eleos/internal/rpc"
 	"eleos/internal/sgx"
 	"eleos/internal/suvm"
@@ -67,6 +69,38 @@ type (
 	// Swapper is the EPC++ swapper thread; in manual mode drive it with
 	// TickNow for deterministic runs.
 	Swapper = suvm.Swapper
+	// IOEngine is the exit-less I/O submission/completion engine
+	// (internal/exitio): typed ops, linked chains, pluggable dispatch.
+	IOEngine = exitio.Engine
+	// IOMode selects how submitted I/O chains reach the OS.
+	IOMode = exitio.Mode
+	// IOStats is a snapshot of engine activity (doorbells, chains,
+	// linked ops, reap-stall cycles).
+	IOStats = exitio.Stats
+	// IOOp is one typed exit-less I/O op descriptor.
+	IOOp = exitio.Op
+	// CQE is one typed I/O completion.
+	CQE = exitio.CQE
+	// FS is the simulated untrusted filesystem served through exitio's
+	// file ops (Open/Pread/Pwrite/Fsync/Close).
+	FS = fsim.FS
+	// IORecv, IOSend, IOOpen, IOPread, IOPwrite, IOFsync and IOClose
+	// are the op descriptors accepted by IOQueue.Push.
+	IORecv   = exitio.Recv
+	IOSend   = exitio.Send
+	IOOpen   = exitio.Open
+	IOPread  = exitio.Pread
+	IOPwrite = exitio.Pwrite
+	IOFsync  = exitio.Fsync
+	IOClose  = exitio.Close
+)
+
+// Exit-less I/O dispatch modes.
+const (
+	IONative   = exitio.ModeDirect
+	IOOCall    = exitio.ModeOCall
+	IORPCSync  = exitio.ModeRPCSync
+	IORPCAsync = exitio.ModeRPCAsync
 )
 
 // Available EPC++ eviction policies.
@@ -107,6 +141,7 @@ func DefaultConfig() Config {
 type Runtime struct {
 	plat *sgx.Platform
 	pool *rpc.Pool
+	io   *exitio.Engine
 }
 
 // NewRuntime builds the machine and starts the RPC worker pool. With no
@@ -136,7 +171,11 @@ func NewRuntime(opts ...Option) (*Runtime, error) {
 	}
 	pool := rpc.NewPool(plat, cfg.RPCWorkers, cfg.RPCRing)
 	pool.Start()
-	return &Runtime{plat: plat, pool: pool}, nil
+	io, err := exitio.NewEngine(exitio.ModeRPCAsync, pool)
+	if err != nil {
+		return nil, fmt.Errorf("eleos: building I/O engine: %w", err)
+	}
+	return &Runtime{plat: plat, pool: pool, io: io}, nil
 }
 
 // Close stops the RPC workers.
@@ -147,6 +186,23 @@ func (r *Runtime) Platform() *sgx.Platform { return r.plat }
 
 // Pool exposes the RPC worker pool.
 func (r *Runtime) Pool() *rpc.Pool { return r.pool }
+
+// IOEngine exposes the runtime's shared exit-less I/O engine. It
+// dispatches in rpc-async mode over the runtime's worker pool; Ctx.IO
+// gives each context a queue on it, and NewIOEngine builds independent
+// engines in other modes.
+func (r *Runtime) IOEngine() *IOEngine { return r.io }
+
+// NewIOEngine builds an additional I/O engine in the given dispatch
+// mode over the runtime's worker pool (for comparing modes on one
+// machine).
+func (r *Runtime) NewIOEngine(mode IOMode) (*IOEngine, error) {
+	return exitio.NewEngine(mode, r.pool)
+}
+
+// NewFS creates a simulated untrusted filesystem on the runtime's
+// machine, to be driven through the exitio file ops.
+func (r *Runtime) NewFS() *FS { return fsim.NewFS(r.plat) }
 
 // EnclaveConfig describes one enclave with its SUVM heap.
 type EnclaveConfig struct {

@@ -2,7 +2,10 @@
 // before writing it to an untrusted file through exit-less system
 // calls, then replays and verifies the log. Demonstrates the pattern
 // the paper's philosophy enables — all OS services, storage included,
-// consumed without leaving the enclave.
+// consumed without leaving the enclave — driven through the exitio
+// submission/completion engine: typed ops, linked chains sharing one
+// doorbell, and asynchronous writes whose latency hides behind the
+// sealing work.
 //
 //	go run ./examples/seclog
 package main
@@ -12,6 +15,7 @@ import (
 	"fmt"
 	"log"
 
+	"eleos/internal/exitio"
 	"eleos/internal/fsim"
 	"eleos/internal/rpc"
 	"eleos/internal/seal"
@@ -19,6 +23,10 @@ import (
 )
 
 const logPath = "/var/log/enclave-audit.sealed"
+
+// writeChain is how many appends share one doorbell: the enclave keeps
+// sealing while a worker drains the previous chain.
+const writeChain = 8
 
 func main() {
 	plat, err := sgx.NewPlatform(sgx.Config{})
@@ -40,22 +48,32 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The exit-less I/O engine in its headline mode: async submission
+	// with residual-latency accounting at reap.
+	eng, err := exitio.NewEngine(exitio.ModeRPCAsync, pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := eng.NewQueue()
+
 	// Open the log — a system call, performed without exiting.
-	var fd int
-	mustCall(pool.Call(th, func(h *sgx.HostCtx) { fd, _ = fs.Open(h, logPath) }))
+	q.Push(exitio.Open{FS: fs, Name: logPath})
+	cqes := mustIO(q.SubmitAndWait(th))
+	fd := cqes[0].N
 
 	// Append 1,000 sealed records. Record format on disk:
 	// [len u32][nonce 12][ciphertext+tag]. The nonce can live in the
 	// clear; integrity and confidentiality come from the AEAD.
 	//
-	// Writes go out asynchronously: the enclave thread keeps sealing the
-	// next record while an untrusted worker writes the previous one, so
-	// the write latency hides behind the AES work (§3.1's futures). The
-	// futures are collected before fsync.
+	// Writes go out asynchronously in linked chains of 8: the enclave
+	// thread keeps sealing the next records while an untrusted worker
+	// drains the previous chain, so the write latency hides behind the
+	// AES work (§3.1's futures) and eight appends share one doorbell.
+	// All completions are collected before fsync.
 	exits0, _, _, _, _ := encl.Stats().Snapshot()
 	type trusted struct{ off uint64 }
 	var index []trusted // kept in enclave memory
-	var writes []*rpc.Future
+	written := 0
 	off := uint64(0)
 	for i := 0; i < 1000; i++ {
 		record := fmt.Sprintf("audit event %04d: balance moved", i)
@@ -64,19 +82,28 @@ func main() {
 		binary.LittleEndian.PutUint32(frame, uint32(len(ct)))
 		copy(frame[4:], nonce[:])
 		copy(frame[4+len(nonce):], ct)
-		wrOff := off
-		f, err := pool.CallAsync(th, func(h *sgx.HostCtx) { fs.PWrite(h, fd, wrOff, frame) })
-		if err != nil {
-			log.Fatal(err)
+		op := exitio.Pwrite{FS: fs, FD: fd, Off: off, Data: frame}
+		if q.Staged() > 0 {
+			q.PushLinked(op)
+		} else {
+			q.Push(op)
 		}
-		writes = append(writes, f)
+		if q.Staged() == writeChain {
+			mustCall(q.Submit(th))
+		}
+		reaped := q.Reap(th) // drain finished chains as we go
+		mustCall(exitio.FirstErr(reaped))
+		written += len(reaped)
 		index = append(index, trusted{off: off})
 		off += uint64(len(frame))
 	}
-	for _, f := range writes {
-		f.Wait(th)
+	tail := mustIO(q.SubmitAndWait(th)) // last chain + everything in flight
+	written += len(tail)
+	if written != 1000 {
+		log.Fatalf("expected 1000 write completions, got %d", written)
 	}
-	mustCall(pool.Call(th, func(h *sgx.HostCtx) { fs.Fsync(h, fd) }))
+	q.Push(exitio.Fsync{FS: fs, FD: fd})
+	mustIO(q.SubmitAndWait(th))
 	exits1, _, _, _, _ := encl.Stats().Snapshot()
 
 	// The host sees only ciphertext.
@@ -84,16 +111,20 @@ func main() {
 	_ = fs.RawRead(logPath, 4+12, raw)
 	fmt.Printf("host's view of record 0: %x...\n", raw[:24])
 
-	// Replay and verify every record from inside the enclave.
+	// Replay and verify every record from inside the enclave. The
+	// header read and payload read are sequential syscalls (the payload
+	// length comes out of the header), each an exit-less submission.
 	verified := 0
 	for i, ent := range index {
 		hdr := make([]byte, 16)
-		mustCall(pool.Call(th, func(h *sgx.HostCtx) { fs.PRead(h, fd, ent.off, hdr) }))
+		q.Push(exitio.Pread{FS: fs, FD: fd, Off: ent.off, Buf: hdr})
+		mustIO(q.SubmitAndWait(th))
 		n := binary.LittleEndian.Uint32(hdr)
 		var nonce seal.Nonce
 		copy(nonce[:], hdr[4:])
 		ct := make([]byte, n)
-		mustCall(pool.Call(th, func(h *sgx.HostCtx) { fs.PRead(h, fd, ent.off+16, ct) }))
+		q.Push(exitio.Pread{FS: fs, FD: fd, Off: ent.off + 16, Buf: ct})
+		mustIO(q.SubmitAndWait(th))
 		pt, err := sealer.Open(th.T, nil, ct, binary.LittleEndian.AppendUint64(nil, uint64(i)), nonce)
 		if err != nil {
 			log.Fatalf("record %d failed verification: %v", i, err)
@@ -105,7 +136,9 @@ func main() {
 		verified++
 	}
 	fmt.Printf("replayed and verified %d sealed records\n", verified)
-	fmt.Printf("file size: %d bytes across %d system calls, ", off, fs.Syscalls())
+	st := eng.Stats()
+	fmt.Printf("file size: %d bytes across %d system calls (%d doorbells, %d ops linked), ",
+		off, fs.Syscalls(), st.Doorbells, st.Linked)
 	fmt.Printf("enclave exits during logging: %d\n", exits1-exits0)
 
 	// Now let the host tamper with one record and watch verification
@@ -118,17 +151,27 @@ func main() {
 	// An adversarial write from the host side, at record 500's payload.
 	fs.PWrite(host, hfd, index[500].off+20, tamper)
 	hdr := make([]byte, 16)
-	mustCall(pool.Call(th, func(h *sgx.HostCtx) { fs.PRead(h, fd, index[500].off, hdr) }))
+	q.Push(exitio.Pread{FS: fs, FD: fd, Off: index[500].off, Buf: hdr})
+	mustIO(q.SubmitAndWait(th))
 	n := binary.LittleEndian.Uint32(hdr)
 	var nonce seal.Nonce
 	copy(nonce[:], hdr[4:])
 	ct := make([]byte, n)
-	mustCall(pool.Call(th, func(h *sgx.HostCtx) { fs.PRead(h, fd, index[500].off+16, ct) }))
+	q.Push(exitio.Pread{FS: fs, FD: fd, Off: index[500].off + 16, Buf: ct})
+	mustIO(q.SubmitAndWait(th))
 	if _, err := sealer.Open(th.T, nil, ct, binary.LittleEndian.AppendUint64(nil, uint64(500)), nonce); err != nil {
 		fmt.Printf("host tampering with record 500 detected: %v\n", err)
 	} else {
 		log.Fatal("tampering went undetected!")
 	}
+}
+
+// mustIO aborts on a submission error or any failed completion, and
+// hands the completions back.
+func mustIO(cqes []exitio.CQE, err error) []exitio.CQE {
+	mustCall(err)
+	mustCall(exitio.FirstErr(cqes))
+	return cqes
 }
 
 // mustCall aborts on an exit-less call error (stopped pool).

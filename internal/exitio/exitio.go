@@ -1,0 +1,157 @@
+// Package exitio is the unified exit-less I/O path: a typed,
+// io_uring-style submission/completion layer over the simulator's OS
+// services (netsim sockets, fsim files). Instead of each server
+// hand-rolling a SyscallMode switch and issuing one synchronous
+// pool.Call per recv and per send, enclave code describes operations as
+// op structs, stages them on a per-thread Queue, optionally links
+// consecutive ops into a chain that crosses the trust boundary on a
+// single doorbell (the paper's batching idea applied to the request
+// loop: SEND of response i rides the same submission as RECV of request
+// i+1), and reaps typed completions.
+//
+// The engine carries a pluggable dispatch mode deciding how a staged
+// chain reaches the untrusted side: executed inline on the caller's
+// host context (native baseline), via an OCALL exit, via one
+// synchronous exit-less RPC, or via the rpc pool's asynchronous path
+// with residual-latency accounting at reap time. In single-op
+// synchronous modes the engine charges exactly the cycle sequence of
+// the per-server switches it replaced — the golden server fingerprint
+// tests pin that equivalence bit-for-bit.
+//
+// Trust domain: trusted — submission, linking and reaping run on the
+// enclave thread; only the chain executor (execChain and the op exec
+// methods, annotated individually) runs untrusted.
+//
+//eleos:trusted
+//eleos:deterministic
+package exitio
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"eleos/internal/rpc"
+)
+
+// Mode selects how a submitted chain reaches the OS.
+type Mode int
+
+// Dispatch modes. The zero value is the native baseline, mirroring the
+// SyscallMode zero values the per-server switches used.
+const (
+	// ModeDirect executes ops inline on the caller's host context —
+	// the untrusted-server baseline (no enclave, no exits).
+	ModeDirect Mode = iota
+	// ModeOCall exits the enclave once per chain, runs the ops, and
+	// re-enters — the SDK baseline the paper measures against.
+	ModeOCall
+	// ModeRPCSync delegates each chain to an untrusted worker with one
+	// synchronous exit-less call (§3.1), charging the worker's full
+	// latency to the caller.
+	ModeRPCSync
+	// ModeRPCAsync posts each chain through the rpc pool's async path:
+	// the caller keeps computing and the residual latency — the part
+	// its compute did not hide — is charged when the completion is
+	// reaped.
+	ModeRPCAsync
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDirect:
+		return "native"
+	case ModeOCall:
+		return "ocall"
+	case ModeRPCAsync:
+		return "rpc-async"
+	default:
+		return "rpc"
+	}
+}
+
+// ParseMode maps the CLI spellings onto dispatch modes.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "native", "direct":
+		return ModeDirect, nil
+	case "ocall":
+		return ModeOCall, nil
+	case "rpc", "rpc-sync":
+		return ModeRPCSync, nil
+	case "rpc-async", "async":
+		return ModeRPCAsync, nil
+	}
+	return 0, fmt.Errorf("exitio: unknown dispatch mode %q (want native, ocall, rpc or rpc-async)", s)
+}
+
+// NeedsPool reports whether the mode dispatches through the rpc worker
+// pool.
+func (m Mode) NeedsPool() bool { return m == ModeRPCSync || m == ModeRPCAsync }
+
+// Engine is the shared half of the I/O layer: the dispatch mode, the
+// worker pool for the RPC modes, and aggregate counters. One Engine is
+// typically shared by all serving threads of a process (each with its
+// own Queue); it holds no locks — the counters are atomics and all
+// per-submission state lives in the Queues.
+type Engine struct {
+	mode Mode
+	pool *rpc.Pool
+
+	doorbells atomic.Uint64
+	chains    atomic.Uint64
+	ops       atomic.Uint64
+	linked    atomic.Uint64
+	reapStall atomic.Uint64
+}
+
+// NewEngine builds an engine. pool is required for the RPC modes and
+// ignored otherwise.
+func NewEngine(mode Mode, pool *rpc.Pool) (*Engine, error) {
+	if mode.NeedsPool() && pool == nil {
+		return nil, fmt.Errorf("exitio: %s dispatch requires a worker pool", mode)
+	}
+	return &Engine{mode: mode, pool: pool}, nil
+}
+
+// Mode returns the engine's dispatch mode.
+func (e *Engine) Mode() Mode { return e.mode }
+
+// Pool returns the worker pool (nil in the non-RPC modes).
+func (e *Engine) Pool() *rpc.Pool { return e.pool }
+
+// NewQueue creates a submission/completion queue. A Queue is owned by
+// one serving thread: stage, submit and reap from that thread only
+// (completion callbacks from the workers synchronize through the
+// queue's wake channel).
+func (e *Engine) NewQueue() *Queue {
+	return &Queue{eng: e, wake: make(chan struct{}, 1)}
+}
+
+// Stats is a snapshot of engine activity.
+type Stats struct {
+	// Doorbells counts boundary crossings: one per submitted chain,
+	// whatever the mode (a direct/OCALL execution, one sync RPC, or
+	// one async descriptor publish).
+	Doorbells uint64
+	// Chains and Ops count submitted chains and the ops they carried.
+	Chains uint64
+	Ops    uint64
+	// Linked counts ops that rode an earlier op's doorbell (Ops minus
+	// Chains).
+	Linked uint64
+	// ReapStallCycles accumulates the virtual cycles charged while
+	// settling async completions at reap time: the residual worker
+	// latency the caller's compute did not hide, plus completion polls.
+	ReapStallCycles uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Doorbells:       e.doorbells.Load(),
+		Chains:          e.chains.Load(),
+		Ops:             e.ops.Load(),
+		Linked:          e.linked.Load(),
+		ReapStallCycles: e.reapStall.Load(),
+	}
+}

@@ -1,0 +1,248 @@
+package exitio_test
+
+import (
+	"errors"
+	"testing"
+
+	"eleos/internal/exitio"
+	"eleos/internal/fsim"
+	"eleos/internal/netsim"
+	"eleos/internal/rpc"
+	"eleos/internal/sgx"
+)
+
+type env struct {
+	plat *sgx.Platform
+	th   *sgx.Thread
+	pool *rpc.Pool
+}
+
+func newEnv(t *testing.T, mode exitio.Mode) (*env, *exitio.Engine) {
+	t.Helper()
+	plat, err := sgx.NewPlatform(sgx.Config{UsablePRMBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &env{plat: plat}
+	if mode == exitio.ModeDirect {
+		e.th = plat.NewHostThread(0)
+	} else {
+		encl, err := plat.NewEnclave()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.th = encl.NewThread()
+		e.th.Enter()
+	}
+	if mode.NeedsPool() {
+		e.pool = rpc.NewPool(plat, 2, 64)
+		e.pool.Start()
+		t.Cleanup(e.pool.Stop)
+	}
+	eng, err := exitio.NewEngine(mode, e.pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, eng
+}
+
+func TestModeStringParse(t *testing.T) {
+	for _, m := range []exitio.Mode{exitio.ModeDirect, exitio.ModeOCall, exitio.ModeRPCSync, exitio.ModeRPCAsync} {
+		got, err := exitio.ParseMode(m.String())
+		if err != nil || got != m {
+			t.Fatalf("ParseMode(%q) = %v, %v; want %v", m.String(), got, err, m)
+		}
+	}
+	if _, err := exitio.ParseMode("telepathy"); err == nil {
+		t.Fatal("ParseMode accepted an unknown mode")
+	}
+}
+
+func TestEngineRequiresPool(t *testing.T) {
+	for _, m := range []exitio.Mode{exitio.ModeRPCSync, exitio.ModeRPCAsync} {
+		if _, err := exitio.NewEngine(m, nil); err == nil {
+			t.Fatalf("NewEngine(%v, nil) succeeded; want error", m)
+		}
+	}
+	for _, m := range []exitio.Mode{exitio.ModeDirect, exitio.ModeOCall} {
+		if _, err := exitio.NewEngine(m, nil); err != nil {
+			t.Fatalf("NewEngine(%v, nil) = %v; want nil", m, err)
+		}
+	}
+}
+
+// All four modes complete a socket request/response pair with correct
+// typed completions.
+func TestModesCompleteSocketOps(t *testing.T) {
+	for _, mode := range []exitio.Mode{exitio.ModeDirect, exitio.ModeOCall, exitio.ModeRPCSync, exitio.ModeRPCAsync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e, eng := newEnv(t, mode)
+			sock := netsim.NewSocket(e.plat, 4096)
+			defer sock.Close()
+			q := eng.NewQueue()
+
+			sock.Deliver([]byte("request"))
+			q.PushTagged(exitio.Recv{Sock: sock, N: 128}, 7)
+			q.Push(exitio.Send{Sock: sock, N: 64})
+			cqes, err := q.SubmitAndWait(e.th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cqes) != 2 {
+				t.Fatalf("got %d completions, want 2", len(cqes))
+			}
+			if cqes[0].Kind != exitio.OpRecv || cqes[0].N != 128 || cqes[0].Tag != 7 || cqes[0].Err != nil {
+				t.Fatalf("recv CQE = %+v", cqes[0])
+			}
+			if cqes[1].Kind != exitio.OpSend || cqes[1].N != 64 || cqes[1].Err != nil {
+				t.Fatalf("send CQE = %+v", cqes[1])
+			}
+			if q.Staged() != 0 || q.InFlight() != 0 {
+				t.Fatalf("queue not drained: staged %d, inflight %d", q.Staged(), q.InFlight())
+			}
+		})
+	}
+}
+
+// A linked chain crosses the boundary on one doorbell; unlinked pushes
+// cross on one each.
+func TestLinkingCoalescesDoorbells(t *testing.T) {
+	e, eng := newEnv(t, exitio.ModeRPCAsync)
+	sock := netsim.NewSocket(e.plat, 4096)
+	defer sock.Close()
+	sock.Deliver([]byte("x"))
+	q := eng.NewQueue()
+
+	q.Push(exitio.Send{Sock: sock, N: 32})
+	q.PushLinked(exitio.Recv{Sock: sock, N: 32})
+	q.PushLinked(exitio.Send{Sock: sock, N: 32})
+	if _, err := q.SubmitAndWait(e.th); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.Doorbells != 1 || st.Chains != 1 || st.Ops != 3 || st.Linked != 2 {
+		t.Fatalf("linked chain stats = %+v, want 1 doorbell / 1 chain / 3 ops / 2 linked", st)
+	}
+
+	q.Push(exitio.Send{Sock: sock, N: 32})
+	q.Push(exitio.Recv{Sock: sock, N: 32})
+	if _, err := q.SubmitAndWait(e.th); err != nil {
+		t.Fatal(err)
+	}
+	st = eng.Stats()
+	if st.Doorbells != 3 || st.Chains != 3 || st.Ops != 5 || st.Linked != 2 {
+		t.Fatalf("unlinked stats = %+v, want 3 doorbells / 3 chains / 5 ops / 2 linked", st)
+	}
+}
+
+// A failing op cancels the rest of its chain but not the next chain.
+func TestChainCancelOnError(t *testing.T) {
+	e, eng := newEnv(t, exitio.ModeRPCSync)
+	fs := fsim.NewFS(e.plat)
+	buf := make([]byte, 16)
+	q := eng.NewQueue()
+
+	q.Push(exitio.Pwrite{FS: fs, FD: 999, Off: 0, Data: buf}) // bad fd
+	q.PushLinked(exitio.Pread{FS: fs, FD: 999, Off: 0, Buf: buf})
+	q.Push(exitio.Open{FS: fs, Name: "/ok"}) // separate chain, still runs
+	cqes, err := q.SubmitAndWait(e.th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cqes) != 3 {
+		t.Fatalf("got %d completions, want 3", len(cqes))
+	}
+	if !errors.Is(cqes[0].Err, fsim.ErrBadFD) {
+		t.Fatalf("pwrite err = %v, want ErrBadFD", cqes[0].Err)
+	}
+	if !errors.Is(cqes[1].Err, exitio.ErrCanceled) {
+		t.Fatalf("linked pread err = %v, want ErrCanceled", cqes[1].Err)
+	}
+	if cqes[2].Err != nil || cqes[2].N < 3 {
+		t.Fatalf("open CQE = %+v, want a valid fd", cqes[2])
+	}
+	if got := exitio.FirstErr(cqes); !errors.Is(got, fsim.ErrBadFD) {
+		t.Fatalf("FirstErr = %v, want the root-cause ErrBadFD", got)
+	}
+}
+
+// Async submissions reap in submission order, and Reap/WaitN behave as
+// documented while chains are in flight.
+func TestAsyncSubmitReapOrder(t *testing.T) {
+	e, eng := newEnv(t, exitio.ModeRPCAsync)
+	fs := fsim.NewFS(e.plat)
+	q := eng.NewQueue()
+	q.Push(exitio.Open{FS: fs, Name: "/log"})
+	cqes, err := q.SubmitAndWait(e.th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := cqes[0].N
+
+	const n = 16
+	data := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		q.PushTagged(exitio.Pwrite{FS: fs, FD: fd, Off: uint64(i * 64), Data: data}, uint64(i))
+		if err := q.Submit(e.th); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := q.WaitN(e.th, n)
+	if len(got) != n {
+		t.Fatalf("WaitN(%d) returned %d completions", n, len(got))
+	}
+	for i, c := range got {
+		if c.Tag != uint64(i) || c.Err != nil || c.N != 64 {
+			t.Fatalf("completion %d out of order or failed: %+v", i, c)
+		}
+	}
+	if extra := q.Reap(e.th); len(extra) != 0 {
+		t.Fatalf("Reap after drain returned %d completions", len(extra))
+	}
+}
+
+// Submitting into a stopped pool surfaces rpc.ErrStopped.
+func TestSubmitStoppedPool(t *testing.T) {
+	for _, mode := range []exitio.Mode{exitio.ModeRPCSync, exitio.ModeRPCAsync} {
+		t.Run(mode.String(), func(t *testing.T) {
+			e, eng := newEnv(t, mode)
+			sock := netsim.NewSocket(e.plat, 4096)
+			defer sock.Close()
+			e.pool.Stop()
+			q := eng.NewQueue()
+			q.Push(exitio.Send{Sock: sock, N: 16})
+			if _, err := q.SubmitAndWait(e.th); !errors.Is(err, rpc.ErrStopped) {
+				t.Fatalf("submit on stopped pool = %v, want rpc.ErrStopped", err)
+			}
+			e.pool.Start() // hand a running pool back to Cleanup's Stop
+		})
+	}
+}
+
+// The async dispatch charges the enqueue at submit and settles residual
+// latency at reap — never more than the sync mode's full charge for the
+// same op sequence.
+func TestAsyncChargesAtMostSync(t *testing.T) {
+	run := func(mode exitio.Mode) uint64 {
+		e, eng := newEnv(t, mode)
+		sock := netsim.NewSocket(e.plat, 1<<16)
+		defer sock.Close()
+		sock.Deliver(make([]byte, 1024))
+		q := eng.NewQueue()
+		e.th.T.Reset()
+		for i := 0; i < 200; i++ {
+			q.Push(exitio.Recv{Sock: sock, N: 1052})
+			if err := q.Submit(e.th); err != nil {
+				panic(err)
+			}
+			e.th.T.Charge(5000) // compute to hide the I/O behind
+			q.WaitN(e.th, 1)
+		}
+		return e.th.T.Cycles()
+	}
+	sync := run(exitio.ModeRPCSync)
+	async := run(exitio.ModeRPCAsync)
+	if async > sync {
+		t.Fatalf("async charged %d cycles > sync %d for the same workload", async, sync)
+	}
+}

@@ -1,0 +1,292 @@
+package exitio
+
+import (
+	"errors"
+	"fmt"
+
+	"eleos/internal/rpc"
+	"eleos/internal/sgx"
+)
+
+// ErrCanceled marks the completion of an op that never ran because an
+// earlier op in its linked chain failed (io_uring's short-circuit rule
+// for IOSQE_IO_LINK).
+var ErrCanceled = errors.New("exitio: op canceled: earlier op in linked chain failed")
+
+// CQE is one completion-queue entry.
+type CQE struct {
+	// Kind and Tag echo the submitted op (Tag is caller-chosen via
+	// PushTagged; 0 otherwise).
+	Kind Kind
+	Tag  uint64
+	// N is the op's result count: bytes moved, or the fd for Open.
+	N int
+	// Err is the op's error, or ErrCanceled for linked ops skipped
+	// after a failure.
+	Err error
+}
+
+// sqe is one staged submission entry; link ties it to the previous
+// entry's chain.
+type sqe struct {
+	op   Op
+	tag  uint64
+	link bool
+}
+
+type result struct {
+	n   int
+	err error
+}
+
+// chain is one in-flight linked submission: its ops, the worker-filled
+// results, and the future publishing them. res is written by the worker
+// before the future's done flag and read by the owner only after
+// observing it.
+type chain struct {
+	fut *rpc.Future
+	ops []sqe
+	res []result
+}
+
+// Queue is a per-thread submission/completion queue. The owning thread
+// stages ops (Push/PushLinked), rings the doorbell (Submit), and reaps
+// typed completions (Reap/WaitN/SubmitAndWait); completions always
+// surface in submission order. The only cross-thread touch point is
+// the wake channel the workers' completion callbacks poke, so a reap
+// can block instead of spinning per future — a Queue therefore needs
+// no mutex, and must not be shared between serving threads.
+type Queue struct {
+	eng     *Engine
+	staged  []sqe
+	pending []*chain
+	ready   []CQE
+	// wake carries lossy completion tokens from notifyOne: capacity 1,
+	// non-blocking sends. Safe because the queue has a single reaper,
+	// which re-checks the head future after every token — a dropped
+	// token implies a token is already buffered.
+	wake chan struct{}
+}
+
+// Engine returns the owning engine.
+func (q *Queue) Engine() *Engine { return q.eng }
+
+// Mode returns the engine's dispatch mode.
+func (q *Queue) Mode() Mode { return q.eng.mode }
+
+// Push stages op as the start of a new chain.
+func (q *Queue) Push(op Op) { q.push(op, 0, false) }
+
+// PushTagged stages op with a caller-chosen tag echoed in its CQE.
+func (q *Queue) PushTagged(op Op, tag uint64) { q.push(op, tag, false) }
+
+// PushLinked stages op linked to the previously staged op: the two
+// cross the boundary on one doorbell, execute in order, and a failure
+// cancels the rest of the chain. With nothing staged it starts a new
+// chain.
+func (q *Queue) PushLinked(op Op) { q.push(op, 0, true) }
+
+// PushLinkedTagged is PushLinked with a completion tag.
+func (q *Queue) PushLinkedTagged(op Op, tag uint64) { q.push(op, tag, true) }
+
+func (q *Queue) push(op Op, tag uint64, link bool) {
+	if len(q.staged) == 0 {
+		link = false
+	}
+	q.staged = append(q.staged, sqe{op: op, tag: tag, link: link})
+}
+
+// Staged returns the number of staged, not-yet-submitted ops.
+func (q *Queue) Staged() int { return len(q.staged) }
+
+// InFlight returns the number of submitted ops not yet reaped.
+func (q *Queue) InFlight() int {
+	n := 0
+	for _, c := range q.pending {
+		n += len(c.ops)
+	}
+	return n
+}
+
+// execChain is the untrusted half of a submission: it runs each op's
+// kernel call in order on the worker/OCALL/native host context and
+// records per-op results. An op error cancels the rest of its chain.
+//
+//eleos:untrusted
+func execChain(h *sgx.HostCtx, ops []sqe, res []result) {
+	failed := false
+	for i := range ops {
+		if failed {
+			res[i] = result{err: ErrCanceled}
+			continue
+		}
+		n, err := ops[i].op.exec(h)
+		res[i] = result{n: n, err: err}
+		if err != nil {
+			failed = true
+		}
+	}
+}
+
+// Submit rings the doorbell for everything staged: each chain crosses
+// the boundary once, via the engine's dispatch mode. Synchronous modes
+// (Direct, OCall, RPCSync) complete the chains before returning — a
+// single-op chain in those modes charges exactly what the per-server
+// switches used to. ModeRPCAsync publishes each chain to the pool and
+// returns; completions are settled at reap. th is the owning enclave
+// thread (a host thread in ModeDirect). On an rpc pool error the
+// already-dispatched chains keep their completions and the remaining
+// staged chains are dropped.
+func (q *Queue) Submit(th *sgx.Thread) error {
+	staged := q.staged
+	q.staged = q.staged[:0]
+	for start := 0; start < len(staged); {
+		end := start + 1
+		for end < len(staged) && staged[end].link {
+			end++
+		}
+		// The chain keeps its own copy: q.staged's backing array is
+		// reused by the next Push while async chains are in flight.
+		ops := make([]sqe, end-start)
+		copy(ops, staged[start:end])
+		start = end
+
+		c := &chain{ops: ops, res: make([]result, len(ops))}
+		q.eng.doorbells.Add(1)
+		q.eng.chains.Add(1)
+		q.eng.ops.Add(uint64(len(ops)))
+		q.eng.linked.Add(uint64(len(ops) - 1))
+		switch q.eng.mode {
+		case ModeDirect:
+			execChain(th.HostContext(), c.ops, c.res)
+			q.complete(c)
+		case ModeOCall:
+			th.OCall(func(h *sgx.HostCtx) { execChain(h, c.ops, c.res) })
+			q.complete(c)
+		case ModeRPCSync:
+			if err := q.eng.pool.Call(th, func(h *sgx.HostCtx) { execChain(h, c.ops, c.res) }); err != nil {
+				return fmt.Errorf("exitio: submit: %w", err)
+			}
+			q.complete(c)
+		case ModeRPCAsync:
+			fut, err := q.eng.pool.CallAsyncNotify(th,
+				func(h *sgx.HostCtx) { execChain(h, c.ops, c.res) }, q.notifyOne)
+			if err != nil {
+				return fmt.Errorf("exitio: submit: %w", err)
+			}
+			c.fut = fut
+			q.pending = append(q.pending, c)
+		}
+	}
+	return nil
+}
+
+// notifyOne runs on an untrusted worker right after a chain's future
+// is published: a lossy, non-blocking wake token for the reaper.
+func (q *Queue) notifyOne() {
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// complete moves a finished chain's results onto the completion list.
+func (q *Queue) complete(c *chain) {
+	for i := range c.ops {
+		q.ready = append(q.ready, CQE{
+			Kind: c.ops[i].op.Kind(),
+			Tag:  c.ops[i].tag,
+			N:    c.res[i].n,
+			Err:  c.res[i].err,
+		})
+	}
+}
+
+// retireHead settles the oldest pending chain: Wait charges the
+// residual latency the owner's compute did not hide (plus the
+// completion poll), and the chain's CQEs become reapable.
+func (q *Queue) retireHead(th *sgx.Thread) {
+	c := q.pending[0]
+	q.pending[0] = nil
+	q.pending = q.pending[1:]
+	before := th.T.Cycles()
+	c.fut.Wait(th)
+	q.eng.reapStall.Add(th.T.Cycles() - before)
+	q.complete(c)
+}
+
+// collect retires every already-completed chain at the head of the
+// pending list, preserving submission order.
+func (q *Queue) collect(th *sgx.Thread) {
+	for len(q.pending) > 0 && q.pending[0].fut.Done() {
+		q.retireHead(th)
+	}
+}
+
+// waitHead blocks — without spinning — until the oldest pending chain
+// completes, then retires it. The wake tokens are lossy, so the head
+// future is re-checked after every token; the completion callback
+// publishes the done flag before poking the channel, so a blocked
+// reaper is always woken.
+func (q *Queue) waitHead(th *sgx.Thread) {
+	c := q.pending[0]
+	for !c.fut.Done() {
+		<-q.wake
+	}
+	q.retireHead(th)
+}
+
+// take hands the accumulated completions to the caller.
+func (q *Queue) take() []CQE {
+	out := q.ready
+	q.ready = nil
+	return out
+}
+
+// Reap returns the completions available right now, in submission
+// order, without blocking. In the synchronous modes everything
+// submitted is already complete.
+func (q *Queue) Reap(th *sgx.Thread) []CQE {
+	q.collect(th)
+	return q.take()
+}
+
+// WaitN blocks until at least n completions are available (or nothing
+// is in flight), then returns all of them in submission order.
+func (q *Queue) WaitN(th *sgx.Thread, n int) []CQE {
+	q.collect(th)
+	for len(q.ready) < n && len(q.pending) > 0 {
+		q.waitHead(th)
+		q.collect(th)
+	}
+	return q.take()
+}
+
+// SubmitAndWait submits everything staged and waits for every in-flight
+// chain, returning all completions in submission order — the
+// convenience path for request/response loops.
+func (q *Queue) SubmitAndWait(th *sgx.Thread) ([]CQE, error) {
+	if err := q.Submit(th); err != nil {
+		return nil, err
+	}
+	for len(q.pending) > 0 {
+		q.waitHead(th)
+	}
+	return q.take(), nil
+}
+
+// FirstErr returns the first real completion error in cqes, preferring
+// a root-cause error over the ErrCanceled entries that follow it.
+func FirstErr(cqes []CQE) error {
+	for _, c := range cqes {
+		if c.Err != nil && !errors.Is(c.Err, ErrCanceled) {
+			return c.Err
+		}
+	}
+	for _, c := range cqes {
+		if c.Err != nil {
+			return c.Err
+		}
+	}
+	return nil
+}

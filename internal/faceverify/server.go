@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"eleos/internal/exitio"
 	"eleos/internal/kv"
 	"eleos/internal/netsim"
 	"eleos/internal/rpc"
@@ -32,14 +33,16 @@ func (p Placement) String() string {
 	}
 }
 
-// SyscallMode selects the network path.
-type SyscallMode int
+// SyscallMode selects the network path — a thin alias over the exitio
+// dispatch modes (the per-server switch moved into internal/exitio).
+type SyscallMode = exitio.Mode
 
 // Syscall mechanisms.
 const (
-	SysNative SyscallMode = iota
-	SysOCall
-	SysRPC
+	SysNative   = exitio.ModeDirect
+	SysOCall    = exitio.ModeOCall
+	SysRPC      = exitio.ModeRPCSync
+	SysRPCAsync = exitio.ModeRPCAsync
 )
 
 // Compute cost model: the LBP transform and chi-square comparison are
@@ -170,27 +173,37 @@ func (s *Store) queryDescriptor(id, variant uint64) []byte {
 	return d
 }
 
-// Server is one worker front end (socket + syscall mode) over the store.
+// Server is one worker front end (socket + exit-less I/O queue) over
+// the store.
 type Server struct {
 	store *Store
-	sys   SyscallMode
-	pool  *rpc.Pool
+	io    *exitio.Queue
 	sock  *netsim.Socket
 	desc  []byte
 }
 
-// NewServer wraps the store for one serving thread.
+// NewServer wraps the store for one serving thread. pool is required
+// for the RPC modes.
 func NewServer(store *Store, sys SyscallMode, pool *rpc.Pool) (*Server, error) {
-	if sys == SysRPC && pool == nil {
+	if sys.NeedsPool() && pool == nil {
 		return nil, fmt.Errorf("faceverify: RPC mode requires a worker pool")
 	}
+	eng, err := exitio.NewEngine(sys, pool)
+	if err != nil {
+		return nil, fmt.Errorf("faceverify: %w", err)
+	}
+	return NewServerIO(store, eng), nil
+}
+
+// NewServerIO wraps the store over an existing engine, so servers on
+// several threads share one engine and its counters.
+func NewServerIO(store *Store, eng *exitio.Engine) *Server {
 	return &Server{
 		store: store,
-		sys:   sys,
-		pool:  pool,
+		io:    eng.NewQueue(),
 		sock:  netsim.NewSocket(store.plat, ImageBytes+4096),
 		desc:  make([]byte, DescriptorBytes),
-	}, nil
+	}
 }
 
 // Close releases the socket.
@@ -203,16 +216,16 @@ func (s *Server) Close() { s.sock.Close() }
 func (s *Server) Verify(th *sgx.Thread, id, variant uint64) (bool, error) {
 	m := s.store.plat.Model
 
-	// Receive the request (claimed ID + image).
-	switch s.sys {
-	case SysNative:
-		s.sock.Recv(th.HostContext(), RequestBytes)
-	case SysOCall:
-		th.OCall(func(h *sgx.HostCtx) { s.sock.Recv(h, RequestBytes) })
-	case SysRPC:
-		if err := s.pool.Call(th, func(h *sgx.HostCtx) { s.sock.Recv(h, RequestBytes) }); err != nil {
-			return false, err
-		}
+	// Receive the request (claimed ID + image). In async mode the
+	// previous verdict's deferred send is still staged and the receive
+	// links onto it — one doorbell for both.
+	if s.io.Staged() > 0 {
+		s.io.PushLinked(exitio.Recv{Sock: s.sock, N: RequestBytes})
+	} else {
+		s.io.Push(exitio.Recv{Sock: s.sock, N: RequestBytes})
+	}
+	if _, err := s.io.SubmitAndWait(th); err != nil {
+		return false, err
 	}
 	// Pull the image out of the untrusted staging buffer (the enclave
 	// reads it while decrypting) and charge the decryption.
@@ -234,20 +247,27 @@ func (s *Server) Verify(th *sgx.Thread, id, variant uint64) (bool, error) {
 	th.T.Charge(chiSquareCyclesPerB * uint64(n))
 	accepted := ChiSquare(query, s.desc[:n]) < VerifyThreshold
 
-	// Respond.
+	// Respond (deferred in async mode: the send rides the next
+	// request's doorbell; Flush pushes out the last one).
 	netsim.CryptoCost(th.T, m, responseBytes)
-	switch s.sys {
-	case SysNative:
-		s.sock.Send(th.HostContext(), responseBytes)
-	case SysOCall:
-		th.OCall(func(h *sgx.HostCtx) { s.sock.Send(h, responseBytes) })
-	case SysRPC:
-		if err := s.pool.Call(th, func(h *sgx.HostCtx) { s.sock.Send(h, responseBytes) }); err != nil {
+	s.io.Push(exitio.Send{Sock: s.sock, N: responseBytes})
+	if s.io.Mode() != exitio.ModeRPCAsync {
+		if _, err := s.io.SubmitAndWait(th); err != nil {
 			return false, err
 		}
 	}
 	return accepted, nil
 }
+
+// Flush completes any deferred response send (async mode); a no-op in
+// the synchronous modes.
+func (s *Server) Flush(th *sgx.Thread) error {
+	_, err := s.io.SubmitAndWait(th)
+	return err
+}
+
+// IO returns the server's submission queue (stats, tests).
+func (s *Server) IO() *exitio.Queue { return s.io }
 
 func min(a, b int) int {
 	if a < b {

@@ -1,0 +1,143 @@
+package fsim_test
+
+import (
+	"errors"
+	"testing"
+
+	"eleos/internal/cache"
+	"eleos/internal/exitio"
+	"eleos/internal/fsim"
+	"eleos/internal/sgx"
+)
+
+// The error surface of the file syscalls, table-driven: every sentinel
+// on every call that can return it, checked both through the direct
+// API and through the exitio op descriptors (which must carry the same
+// sentinels in their CQEs).
+func TestErrorPaths(t *testing.T) {
+	plat, err := sgx.NewPlatform(sgx.Config{UsablePRMBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := plat.NewHostThread(cache.CoSDefault)
+	h := th.HostContext()
+	fs := fsim.NewFS(plat)
+	fd, err := fs.Open(h, "/errors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.PWrite(h, fd, 0, []byte("five!")); err != nil {
+		t.Fatal(err)
+	}
+	closed, _ := fs.Open(h, "/errors")
+	if err := fs.Close(h, closed); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+
+	cases := []struct {
+		name    string
+		call    func() (int, error)
+		wantN   int
+		wantErr error
+	}{
+		{"size of missing file", func() (int, error) {
+			sz, err := fs.Size("/never-created")
+			return int(sz), err
+		}, 0, fsim.ErrNotExist},
+		{"rawread of missing file", func() (int, error) {
+			return 0, fs.RawRead("/never-created", 0, buf)
+		}, 0, fsim.ErrNotExist},
+		{"close of bad fd", func() (int, error) {
+			return 0, fs.Close(h, 999)
+		}, 0, fsim.ErrBadFD},
+		{"close of closed fd", func() (int, error) {
+			return 0, fs.Close(h, closed)
+		}, 0, fsim.ErrBadFD},
+		{"pwrite on bad fd", func() (int, error) {
+			return fs.PWrite(h, 999, 0, buf)
+		}, 0, fsim.ErrBadFD},
+		{"pread on closed fd", func() (int, error) {
+			return fs.PRead(h, closed, 0, buf)
+		}, 0, fsim.ErrBadFD},
+		{"fsync on bad fd", func() (int, error) {
+			return 0, fs.Fsync(h, 999)
+		}, 0, fsim.ErrBadFD},
+		{"pwrite past the size limit", func() (int, error) {
+			return fs.PWrite(h, fd, fsim.MaxFileBytes-2, buf)
+		}, 0, fsim.ErrTooLarge},
+		{"pread at EOF", func() (int, error) {
+			return fs.PRead(h, fd, 5, buf)
+		}, 0, nil},
+		{"pread past EOF", func() (int, error) {
+			return fs.PRead(h, fd, 1000, buf)
+		}, 0, nil},
+		{"partial pread near EOF", func() (int, error) {
+			return fs.PRead(h, fd, 3, buf)
+		}, 2, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := tc.call()
+			if !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+			if n != tc.wantN {
+				t.Fatalf("n = %d, want %d", n, tc.wantN)
+			}
+		})
+	}
+}
+
+// The same sentinels must survive the trip through the exitio engine:
+// a failing op's CQE carries the fsim error, a zero-byte read at EOF is
+// a successful completion with N == 0.
+func TestErrorPathsThroughExitio(t *testing.T) {
+	plat, err := sgx.NewPlatform(sgx.Config{UsablePRMBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := plat.NewHostThread(cache.CoSDefault)
+	fs := fsim.NewFS(plat)
+	eng, err := exitio.NewEngine(exitio.ModeDirect, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eng.NewQueue()
+	q.Push(exitio.Open{FS: fs, Name: "/via-engine"})
+	cqes, err := q.SubmitAndWait(th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := cqes[0].N
+	buf := make([]byte, 8)
+
+	cases := []struct {
+		name    string
+		op      exitio.Op
+		wantN   int
+		wantErr error
+	}{
+		{"pwrite bad fd", exitio.Pwrite{FS: fs, FD: 999, Data: buf}, 0, fsim.ErrBadFD},
+		{"pread bad fd", exitio.Pread{FS: fs, FD: 999, Buf: buf}, 0, fsim.ErrBadFD},
+		{"fsync bad fd", exitio.Fsync{FS: fs, FD: 999}, 0, fsim.ErrBadFD},
+		{"close bad fd", exitio.Close{FS: fs, FD: 999}, 0, fsim.ErrBadFD},
+		{"pwrite too large", exitio.Pwrite{FS: fs, FD: fd, Off: fsim.MaxFileBytes, Data: buf}, 0, fsim.ErrTooLarge},
+		{"pread at EOF", exitio.Pread{FS: fs, FD: fd, Buf: buf}, 0, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q.Push(tc.op)
+			cqes, err := q.SubmitAndWait(th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !errors.Is(cqes[0].Err, tc.wantErr) {
+				t.Fatalf("CQE err = %v, want %v", cqes[0].Err, tc.wantErr)
+			}
+			if cqes[0].N != tc.wantN {
+				t.Fatalf("CQE n = %d, want %d", cqes[0].N, tc.wantN)
+			}
+		})
+	}
+}

@@ -45,7 +45,11 @@ const pageCacheBytes = 2048
 // live in untrusted host memory, fronted by a syscall layer. Safe for
 // concurrent use.
 type FS struct {
-	plat   *sgx.Platform
+	plat *sgx.Platform
+	// mu guards the namespace and descriptor tables. The grow path in
+	// PWrite allocates from the host arena while holding it, so it ranks
+	// below hostmem.Arena.mu (140).
+	//eleos:lockorder 100
 	mu     sync.Mutex
 	byName map[string]*file
 	fds    map[int]*fd

@@ -3,66 +3,73 @@ package mckv
 import (
 	"fmt"
 
+	"eleos/internal/exitio"
 	"eleos/internal/netsim"
 	"eleos/internal/rpc"
 	"eleos/internal/sgx"
 )
 
-// SyscallMode selects the store's path to the OS for network I/O.
-type SyscallMode int
+// SyscallMode selects the store's path to the OS for network I/O. It is
+// a thin alias over the exitio dispatch modes: the per-server switch
+// this package used to carry lives in internal/exitio now.
+type SyscallMode = exitio.Mode
 
 // Syscall mechanisms: the Graphene baseline exits per syscall; Eleos
-// integrates its RPC into Graphene (§5.1).
+// integrates its RPC into Graphene (§5.1). SysRPCAsync is the engine's
+// headline configuration: responses are deferred and linked with the
+// next request's receive into one doorbell.
 const (
-	SysNative SyscallMode = iota
-	SysOCall
-	SysRPC
+	SysNative   = exitio.ModeDirect
+	SysOCall    = exitio.ModeOCall
+	SysRPC      = exitio.ModeRPCSync
+	SysRPCAsync = exitio.ModeRPCAsync
 )
 
-func (m SyscallMode) String() string {
-	switch m {
-	case SysNative:
-		return "native"
-	case SysOCall:
-		return "ocall"
-	default:
-		return "rpc"
-	}
-}
-
-// Server is one worker front end over a shared Store: a socket plus the
-// configured syscall mechanism and request crypto. Create one per
-// serving thread.
+// Server is one worker front end over a shared Store: a socket plus an
+// exit-less I/O queue in the configured dispatch mode, and the request
+// crypto. Create one per serving thread.
 type Server struct {
 	store *Store
 	plat  *sgx.Platform
-	sys   SyscallMode
-	pool  *rpc.Pool
+	io    *exitio.Queue
 	sock  *netsim.Socket
 	buf   []byte
 }
 
 // NewServer wraps store with a network front end. pool is required for
-// SysRPC.
+// the RPC modes.
 func NewServer(store *Store, sys SyscallMode, pool *rpc.Pool) (*Server, error) {
-	if sys == SysRPC && pool == nil {
+	if sys.NeedsPool() && pool == nil {
 		return nil, fmt.Errorf("mckv: RPC mode requires a worker pool")
 	}
+	eng, err := exitio.NewEngine(sys, pool)
+	if err != nil {
+		return nil, fmt.Errorf("mckv: %w", err)
+	}
+	return NewServerIO(store, eng), nil
+}
+
+// NewServerIO wraps store over an existing engine, so several servers
+// (one per serving thread) share one engine and its counters.
+func NewServerIO(store *Store, eng *exitio.Engine) *Server {
 	return &Server{
 		store: store,
 		plat:  store.plat,
-		sys:   sys,
-		pool:  pool,
+		io:    eng.NewQueue(),
 		sock:  netsim.NewSocket(store.plat, 1<<20),
 		buf:   make([]byte, 1<<20),
-	}, nil
+	}
 }
 
-// Close releases the socket.
+// Close releases the socket. Any response still deferred in async mode
+// is dropped with it; call Flush first when the send matters.
 func (s *Server) Close() { s.sock.Close() }
 
 // Store returns the shared store.
 func (s *Server) Store() *Store { return s.store }
+
+// IO returns the server's submission queue (stats, tests).
+func (s *Server) IO() *exitio.Queue { return s.io }
 
 // GetRequestBytes is the wire size of a GET for a key of klen bytes.
 func GetRequestBytes(klen int) int { return 8 + klen + 28 }
@@ -70,18 +77,39 @@ func GetRequestBytes(klen int) int { return 8 + klen + 28 }
 // SetRequestBytes is the wire size of a SET carrying klen+vlen payload.
 func SetRequestBytes(klen, vlen int) int { return 8 + klen + vlen + 28 }
 
-// recv/send via the configured mechanism.
-func (s *Server) netCall(th *sgx.Thread, f func(*sgx.HostCtx)) {
-	switch s.sys {
-	case SysNative:
-		f(th.HostContext())
-	case SysOCall:
-		th.OCall(f)
-	case SysRPC:
-		if err := s.pool.Call(th, f); err != nil {
-			panic("mckv: RPC pool stopped mid-serve: " + err.Error())
-		}
+// netRecv receives the next request through the engine. In async mode
+// the previous request's deferred response send is still staged, so the
+// receive links onto it: SEND(i) + RECV(i+1) cross on one doorbell.
+func (s *Server) netRecv(th *sgx.Thread, n int) {
+	if s.io.Staged() > 0 {
+		s.io.PushLinked(exitio.Recv{Sock: s.sock, N: n})
+	} else {
+		s.io.Push(exitio.Recv{Sock: s.sock, N: n})
 	}
+	if _, err := s.io.SubmitAndWait(th); err != nil {
+		panic("mckv: RPC pool stopped mid-serve: " + err.Error())
+	}
+}
+
+// netSend sends a response. Synchronous modes complete it here; async
+// mode defers it so it can ride the next receive's doorbell (Flush
+// pushes out the last one).
+func (s *Server) netSend(th *sgx.Thread, n int) {
+	s.io.Push(exitio.Send{Sock: s.sock, N: n})
+	if s.io.Mode() == exitio.ModeRPCAsync {
+		return
+	}
+	if _, err := s.io.SubmitAndWait(th); err != nil {
+		panic("mckv: RPC pool stopped mid-serve: " + err.Error())
+	}
+}
+
+// Flush completes any deferred response send (async mode); a no-op in
+// the synchronous modes. Call it when the request stream pauses or
+// ends.
+func (s *Server) Flush(th *sgx.Thread) error {
+	_, err := s.io.SubmitAndWait(th)
+	return err
 }
 
 // ServeGet handles one GET request end to end: receive, decrypt, look
@@ -90,7 +118,7 @@ func (s *Server) netCall(th *sgx.Thread, f func(*sgx.HostCtx)) {
 func (s *Server) ServeGet(th *sgx.Thread, key []byte) (int, error) {
 	reqN := GetRequestBytes(len(key))
 	s.sock.Deliver(key) // the client's (encrypted) request carries the key
-	s.netCall(th, func(h *sgx.HostCtx) { s.sock.Recv(h, reqN) })
+	s.netRecv(th, reqN)
 	th.Read(s.sock.UserBuf(), s.buf[:len(key)])
 	netsim.CryptoCost(th.T, s.plat.Model, reqN)
 
@@ -102,7 +130,7 @@ func (s *Server) ServeGet(th *sgx.Thread, key []byte) (int, error) {
 	respN := vlen + 40 // VALUE header + envelope
 	netsim.CryptoCost(th.T, s.plat.Model, respN)
 	th.Write(s.sock.UserBuf(), s.buf[:vlen])
-	s.netCall(th, func(h *sgx.HostCtx) { s.sock.Send(h, respN) })
+	s.netSend(th, respN)
 	return vlen, nil
 }
 
@@ -110,7 +138,7 @@ func (s *Server) ServeGet(th *sgx.Thread, key []byte) (int, error) {
 func (s *Server) ServeSet(th *sgx.Thread, key, val []byte) error {
 	reqN := SetRequestBytes(len(key), len(val))
 	s.sock.Deliver(val)
-	s.netCall(th, func(h *sgx.HostCtx) { s.sock.Recv(h, reqN) })
+	s.netRecv(th, reqN)
 	th.Read(s.sock.UserBuf(), s.buf[:min(len(val), len(s.buf))])
 	netsim.CryptoCost(th.T, s.plat.Model, reqN)
 
@@ -119,7 +147,7 @@ func (s *Server) ServeSet(th *sgx.Thread, key, val []byte) error {
 	}
 
 	netsim.CryptoCost(th.T, s.plat.Model, 8+28) // STORED
-	s.netCall(th, func(h *sgx.HostCtx) { s.sock.Send(h, 8+28) })
+	s.netSend(th, 8+28)
 	return nil
 }
 

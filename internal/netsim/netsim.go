@@ -14,6 +14,9 @@
 package netsim
 
 import (
+	"fmt"
+	"sync/atomic"
+
 	"eleos/internal/cycles"
 	"eleos/internal/sgx"
 )
@@ -32,13 +35,20 @@ const kernBufBytes = 8 << 20
 // kernel buffer region and a user-space staging buffer in untrusted
 // memory (where an OCALL/RPC recv must deliver data for the enclave to
 // pick up). A Socket is not safe for concurrent use; servers give each
-// worker its own.
+// worker its own — and Recv/Send enforce that with a cheap owner guard
+// that panics on overlapping calls instead of silently corrupting the
+// rotating kernel-buffer state.
 type Socket struct {
 	plat     *sgx.Platform
 	kernBuf  uint64
 	userBuf  uint64
 	userSize uint64
 	rot      uint64 // rotating offset spreading kernel-buffer footprint
+
+	// owner is the concurrent-misuse tripwire: thread ID + 1 of the
+	// context currently inside Recv/Send, 0 when idle. A pure host-side
+	// debug check — one CAS per call, no virtual cycles.
+	owner atomic.Int64
 }
 
 // NewSocket allocates the socket's buffers in untrusted memory.
@@ -93,6 +103,7 @@ func (s *Socket) Deliver(payload []byte) {
 // and where they land — the enclave's ways or the RPC workers' CAT
 // partition — is decided by the calling context. Returns n.
 func (s *Socket) Recv(h *sgx.HostCtx, n int) int {
+	defer s.unguard(s.guard(h))
 	h.Syscall(func(c *sgx.HostCtx) {
 		span := 4*n + 2048
 		if span > kernBufBytes {
@@ -111,6 +122,7 @@ func (s *Socket) Recv(h *sgx.HostCtx, n int) int {
 // Send performs the kernel half of send(2): copy_from_user plus the
 // kernel buffer write-out.
 func (s *Socket) Send(h *sgx.HostCtx, n int) {
+	defer s.unguard(s.guard(h))
 	h.Syscall(func(c *sgx.HostCtx) {
 		c.Touch(s.userBuf, n, false)
 		k := n
@@ -119,6 +131,25 @@ func (s *Socket) Send(h *sgx.HostCtx, n int) {
 		}
 		c.Touch(s.kernBuf, k, true)
 	})
+}
+
+// guard claims the socket for the calling context, panicking if another
+// thread is already inside a Recv/Send — the loud failure mode for a
+// multi-queue server submitting two chains over one socket. Returns the
+// claimed token for unguard.
+func (s *Socket) guard(h *sgx.HostCtx) int64 {
+	id := int64(h.Thread().T.ID()) + 1
+	if !s.owner.CompareAndSwap(0, id) {
+		panic(fmt.Sprintf("netsim: concurrent Socket use: thread %d entered Recv/Send while thread %d was inside",
+			id-1, s.owner.Load()-1))
+	}
+	return id
+}
+
+func (s *Socket) unguard(id int64) {
+	if !s.owner.CompareAndSwap(id, 0) {
+		panic("netsim: Socket owner guard corrupted")
+	}
 }
 
 // WireSeconds returns the time the 10 GbE link needs to carry one

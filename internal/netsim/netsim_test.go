@@ -89,3 +89,40 @@ func TestWireBounds(t *testing.T) {
 		t.Fatal("wire time must grow with size")
 	}
 }
+
+func TestOwnerGuardSequentialUse(t *testing.T) {
+	// The owner guard must be invisible to well-behaved callers:
+	// repeated Recv/Send from one thread, then from a different thread,
+	// all pass (the guard clears between calls — it is not an affinity
+	// check).
+	p := newPlat(t)
+	s := NewSocket(p, 64<<10)
+	defer s.Close()
+	th1 := p.NewHostThread(cache.CoSDefault)
+	th2 := p.NewHostThread(cache.CoSDefault)
+	for i := 0; i < 4; i++ {
+		s.Deliver([]byte("x"))
+		s.Recv(th1.HostContext(), 64)
+		s.Send(th2.HostContext(), 64)
+	}
+	if got := s.owner.Load(); got != 0 {
+		t.Fatalf("owner guard left set to %d after sequential use", got)
+	}
+}
+
+func TestOwnerGuardPanicsOnConcurrentUse(t *testing.T) {
+	// Simulate a second thread being mid-Recv by pre-setting the owner
+	// word, exactly the state a racing CAS would observe.
+	p := newPlat(t)
+	s := NewSocket(p, 64<<10)
+	defer s.Close()
+	th := p.NewHostThread(cache.CoSDefault)
+
+	s.owner.Store(int64(99) + 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Recv on a busy socket did not panic")
+		}
+	}()
+	s.Recv(th.HostContext(), 64)
+}

@@ -17,6 +17,7 @@ package pserver
 import (
 	"fmt"
 
+	"eleos/internal/exitio"
 	"eleos/internal/kv"
 	"eleos/internal/netsim"
 	"eleos/internal/rpc"
@@ -45,26 +46,18 @@ func (p Placement) String() string {
 	}
 }
 
-// SyscallMode selects how the server reaches the OS.
-type SyscallMode int
+// SyscallMode selects how the server reaches the OS — a thin alias
+// over the exitio dispatch modes (the per-server switch moved into
+// internal/exitio).
+type SyscallMode = exitio.Mode
 
 // Syscall mechanisms.
 const (
-	SysNative SyscallMode = iota // direct syscalls (untrusted server)
-	SysOCall                     // SDK OCALL: exit per call
-	SysRPC                       // Eleos exit-less RPC
+	SysNative   = exitio.ModeDirect   // direct syscalls (untrusted server)
+	SysOCall    = exitio.ModeOCall    // SDK OCALL: exit per call
+	SysRPC      = exitio.ModeRPCSync  // Eleos exit-less RPC, one sync call per op
+	SysRPCAsync = exitio.ModeRPCAsync // async chains: SEND(i)+RECV(i+1), one doorbell
 )
-
-func (m SyscallMode) String() string {
-	switch m {
-	case SysNative:
-		return "native"
-	case SysOCall:
-		return "ocall"
-	default:
-		return "rpc"
-	}
-}
 
 // Config describes one parameter-server instance.
 type Config struct {
@@ -78,22 +71,28 @@ type Config struct {
 	Syscall SyscallMode
 	// Heap is required for PlaceSUVM.
 	Heap *suvm.Heap
-	// Pool is required for SysRPC.
+	// Pool is required for the RPC modes (unless Engine is set).
 	Pool *rpc.Pool
+	// Engine, when non-nil, is a shared exit-less I/O engine whose
+	// dispatch mode overrides Syscall/Pool — the way several servers
+	// share one engine and its doorbell counters.
+	Engine *exitio.Engine
 	// Encrypted selects whether request/response crypto costs are
 	// charged (the paper encrypts all traffic; on by default in the
 	// harness, off in some unit tests).
 	Encrypted bool
 }
 
-// Server is one parameter server worker: a table plus a socket. For
-// multi-threaded experiments create one Server per thread over a shared
-// table (the paper shards requests by connection).
+// Server is one parameter server worker: a table plus a socket and an
+// exit-less I/O queue. For multi-threaded experiments create one Server
+// per thread over a shared table (the paper shards requests by
+// connection).
 type Server struct {
 	cfg     Config
 	plat    *sgx.Platform
 	table   *kv.FixedTable
 	sock    *netsim.Socket
+	io      *exitio.Queue
 	entries uint64
 	reqBuf  []byte
 }
@@ -123,8 +122,17 @@ func New(plat *sgx.Platform, setup *sgx.Thread, cfg Config) (*Server, error) {
 	if cfg.Placement == PlaceSUVM && cfg.Heap == nil {
 		return nil, fmt.Errorf("pserver: SUVM placement requires a heap")
 	}
-	if cfg.Syscall == SysRPC && cfg.Pool == nil {
-		return nil, fmt.Errorf("pserver: RPC mode requires a worker pool")
+	eng := cfg.Engine
+	if eng == nil {
+		if cfg.Syscall.NeedsPool() && cfg.Pool == nil {
+			return nil, fmt.Errorf("pserver: RPC mode requires a worker pool")
+		}
+		var err error
+		if eng, err = exitio.NewEngine(cfg.Syscall, cfg.Pool); err != nil {
+			return nil, fmt.Errorf("pserver: %w", err)
+		}
+	} else {
+		cfg.Syscall = eng.Mode()
 	}
 	buckets := uint64(1)
 	for buckets < 2*entries {
@@ -157,6 +165,7 @@ func New(plat *sgx.Platform, setup *sgx.Thread, cfg Config) (*Server, error) {
 		plat:    plat,
 		table:   table,
 		sock:    netsim.NewSocket(plat, 64<<10),
+		io:      eng.NewQueue(),
 		entries: entries,
 		reqBuf:  make([]byte, 64<<10),
 	}
@@ -210,16 +219,16 @@ func (s *Server) ServeRequest(th *sgx.Thread, keys []uint64) error {
 	}
 	s.sock.Deliver(payload)
 
-	// recv()
-	switch s.cfg.Syscall {
-	case SysNative:
-		s.sock.Recv(th.HostContext(), n)
-	case SysOCall:
-		th.OCall(func(h *sgx.HostCtx) { s.sock.Recv(h, n) })
-	case SysRPC:
-		if err := s.cfg.Pool.Call(th, func(h *sgx.HostCtx) { s.sock.Recv(h, n) }); err != nil {
-			return fmt.Errorf("pserver: recv: %w", err)
-		}
+	// recv() — in async mode the previous request's deferred response
+	// send is still staged, and the receive links onto it: one doorbell
+	// carries SEND(i) and RECV(i+1).
+	if s.io.Staged() > 0 {
+		s.io.PushLinked(exitio.Recv{Sock: s.sock, N: n})
+	} else {
+		s.io.Push(exitio.Recv{Sock: s.sock, N: n})
+	}
+	if _, err := s.io.SubmitAndWait(th); err != nil {
+		return fmt.Errorf("pserver: recv: %w", err)
 	}
 
 	// Pull the payload out of the untrusted staging buffer and decrypt.
@@ -244,18 +253,29 @@ func (s *Server) ServeRequest(th *sgx.Thread, keys []uint64) error {
 	}
 	var ack [16]byte
 	th.Write(s.sock.UserBuf(), ack[:])
-	switch s.cfg.Syscall {
-	case SysNative:
-		s.sock.Send(th.HostContext(), ResponseBytes)
-	case SysOCall:
-		th.OCall(func(h *sgx.HostCtx) { s.sock.Send(h, ResponseBytes) })
-	case SysRPC:
-		if err := s.cfg.Pool.Call(th, func(h *sgx.HostCtx) { s.sock.Send(h, ResponseBytes) }); err != nil {
-			return fmt.Errorf("pserver: send: %w", err)
-		}
+	s.io.Push(exitio.Send{Sock: s.sock, N: ResponseBytes})
+	if s.cfg.Syscall == SysRPCAsync {
+		// Deferred: the send rides the next request's doorbell (Flush
+		// pushes out the last one).
+		return nil
+	}
+	if _, err := s.io.SubmitAndWait(th); err != nil {
+		return fmt.Errorf("pserver: send: %w", err)
 	}
 	return nil
 }
+
+// Flush completes any deferred response send (async mode); a no-op in
+// the synchronous modes.
+func (s *Server) Flush(th *sgx.Thread) error {
+	if _, err := s.io.SubmitAndWait(th); err != nil {
+		return fmt.Errorf("pserver: flush: %w", err)
+	}
+	return nil
+}
+
+// IO returns the server's submission queue (stats, tests).
+func (s *Server) IO() *exitio.Queue { return s.io }
 
 func leU32(b []byte) uint32 {
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24

@@ -27,6 +27,11 @@ type request struct {
 	submitStamp uint64 // caller's cycle clock just after the enqueue charge
 	workCycles  uint64
 	done        atomic.Uint32
+	// notify, when set, runs on the worker thread right after done is
+	// published (CallAsyncNotify). The worker captures it before the
+	// done store: once done is visible the submitter may Wait and
+	// recycle the request under the callback's feet.
+	notify func()
 }
 
 // Stats counts pool activity.
@@ -214,6 +219,7 @@ func (p *Pool) getReq(fn func(*sgx.HostCtx), stamp uint64) *request {
 
 func (p *Pool) putReq(req *request) {
 	req.fn = nil
+	req.notify = nil
 	p.reqPool.Put(req)
 }
 
@@ -331,7 +337,11 @@ func (p *Pool) workerLoop(i int, stopC chan struct{}) {
 		req.fn(ctx)
 		req.workCycles = w.th.T.Cycles() - start
 		p.workerOps.Add(1)
+		notify := req.notify
 		req.done.Store(1)
+		if notify != nil {
+			notify()
+		}
 	}
 }
 
@@ -394,12 +404,24 @@ func (p *Pool) Call(caller *sgx.Thread, fn func(*sgx.HostCtx)) error {
 // latency that the caller's own compute did not hide (§3.1's
 // asynchronous variant of the exit-less service).
 func (p *Pool) CallAsync(caller *sgx.Thread, fn func(*sgx.HostCtx)) (*Future, error) {
+	return p.CallAsyncNotify(caller, fn, nil)
+}
+
+// CallAsyncNotify is CallAsync with a completion hook: notify (if
+// non-nil) runs on the worker thread immediately after the request's
+// completion flag is published, so a reaper can block on a channel
+// instead of spinning per future. notify executes on the untrusted
+// worker — it must be cheap, non-blocking (a counter bump, a
+// non-blocking channel send) and must not touch enclave state. It is a
+// host-side signal only: accounting still settles at Future.Wait.
+func (p *Pool) CallAsyncNotify(caller *sgx.Thread, fn func(*sgx.HostCtx), notify func()) (*Future, error) {
 	if p.state.Load() != poolRunning {
 		return nil, ErrStopped
 	}
 	m := caller.Platform().Model
 	caller.T.Charge(m.RPCEnqueue)
 	req := p.getReq(fn, caller.T.Cycles())
+	req.notify = notify
 	if err := p.submit(req, p.shardOf(caller)); err != nil {
 		p.putReq(req)
 		return nil, err

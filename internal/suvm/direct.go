@@ -76,7 +76,9 @@ func (h *Heap) directSub(th *sgx.Thread, bsPage uint64, sub int, subOff uint64, 
 			clear(buf)
 			return nil
 		}
-		pt, err := h.openSub(th, subAddr, sm)
+		scratch := h.getScratch()
+		defer h.putScratch(scratch)
+		pt, err := h.openSub(th, subAddr, sm, (*scratch)[:0])
 		if err != nil {
 			return err
 		}
@@ -92,15 +94,16 @@ func (h *Heap) directSub(th *sgx.Thread, bsPage uint64, sub int, subOff uint64, 
 	if full {
 		plain = buf
 	} else {
-		// Read-modify-write below sub-page granularity.
-		plain = (*scratch)[:h.subSize]
+		// Read-modify-write below sub-page granularity: decrypt the old
+		// sub-page straight into the scratch, then splice the write in.
 		if sm != nil && sm.present {
-			old, err := h.openSub(th, subAddr, sm)
+			old, err := h.openSub(th, subAddr, sm, (*scratch)[:0])
 			if err != nil {
 				return err
 			}
-			copy(plain, old)
+			plain = old
 		} else {
+			plain = (*scratch)[:h.subSize]
 			clear(plain)
 		}
 		copy(plain[subOff:], buf)
@@ -115,19 +118,19 @@ func (h *Heap) directSub(th *sgx.Thread, bsPage uint64, sub int, subOff uint64, 
 	return nil
 }
 
-// openSub reads and decrypts one sub-page from the backing store.
-func (h *Heap) openSub(th *sgx.Thread, subAddr uint64, sm *subMeta) ([]byte, error) {
+// openSub reads and decrypts one sub-page from the backing store,
+// appending the plaintext into dst — an empty slice over caller-owned
+// scratch, so the read path allocates nothing per call. The returned
+// slice aliases dst's backing array and is valid only while the caller
+// holds that scratch.
+func (h *Heap) openSub(th *sgx.Thread, subAddr uint64, sm *subMeta, dst []byte) ([]byte, error) {
 	ct := h.getScratch()
-	pt := h.getScratch()
 	defer h.putScratch(ct)
-	defer h.putScratch(pt)
 	th.Read(subAddr, (*ct)[:h.subSize])
 	copy((*ct)[h.subSize:], sm.tag[:])
-	plain, err := h.seal.Open(th.T, (*pt)[:0], (*ct)[:h.subSize+seal.Overhead], seal.AddrAAD(subAddr), sm.nonce)
+	plain, err := h.seal.Open(th.T, dst, (*ct)[:h.subSize+seal.Overhead], seal.AddrAAD(subAddr), sm.nonce)
 	if err != nil {
 		return nil, fmt.Errorf("suvm: direct sub-page at %#x failed integrity verification: %w", subAddr, err)
 	}
-	out := make([]byte, len(plain))
-	copy(out, plain)
-	return out, nil
+	return plain, nil
 }

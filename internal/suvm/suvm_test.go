@@ -322,6 +322,31 @@ func TestDirectAccessRoundTrip(t *testing.T) {
 	}
 }
 
+func TestDirectReadAllocs(t *testing.T) {
+	// The direct-access read path decrypts into pooled scratch buffers
+	// (openSub appends into caller-owned space): a warm sub-page read
+	// must not allocate a per-read plaintext copy. The two remaining
+	// allocations are the 8-byte AAD encoding and AEAD internals.
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; count is meaningless")
+	}
+	e := newEnv(t, smallCfg())
+	p, err := e.h.MallocDirect(8 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	if err := p.WriteAt(e.th, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.ReadAt(e.th, 0, buf) // warm the scratch pool
+	if avg := testing.AllocsPerRun(200, func() {
+		_ = p.ReadAt(e.th, 0, buf)
+	}); avg > 2 {
+		t.Fatalf("direct sub-page read allocates %v times per call, want at most 2", avg)
+	}
+}
+
 func TestDirectPartialAndMisalignedWrites(t *testing.T) {
 	e := newEnv(t, smallCfg())
 	p, _ := e.h.MallocDirect(8 << 10)

@@ -1,0 +1,254 @@
+package eleos
+
+import (
+	"fmt"
+	"testing"
+
+	"eleos/internal/faceverify"
+	"eleos/internal/kv"
+	"eleos/internal/loadgen"
+	"eleos/internal/mckv"
+	"eleos/internal/pserver"
+	"eleos/internal/rpc"
+	"eleos/internal/sgx"
+)
+
+// Golden server fingerprints: each evaluation server runs a fixed
+// seeded request workload under every syscall dispatch mode, and the
+// resulting virtual-cycle fingerprint is pinned. The exit-less I/O
+// engine refactor (internal/exitio) must leave the single-op dispatch
+// paths bit-identical to the hand-rolled per-server switches it
+// replaced: same charge sequence per request, same LLC evolution, same
+// in-enclave time split. RPC-mode workloads use a single-worker pool so
+// work stealing cannot reorder worker-side cache state between runs.
+//
+// Captured at commit f19d53e (pre-exitio), where each server issued one
+// synchronous pool.Call per Recv and per Send through its own
+// SyscallMode switch.
+
+type serverFingerprint [3]uint64 // thread cycles, in-enclave cycles, LLC misses
+
+// goldenServerEnv is the shared fixture: a small machine, optionally an
+// enclave + entered thread, optionally a 1-worker RPC pool.
+type goldenServerEnv struct {
+	plat *sgx.Platform
+	encl *sgx.Enclave
+	th   *sgx.Thread
+	pool *rpc.Pool
+}
+
+func newGoldenServerEnv(t *testing.T, native, withPool bool) *goldenServerEnv {
+	t.Helper()
+	plat, err := sgx.NewPlatform(sgx.Config{UsablePRMBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &goldenServerEnv{plat: plat}
+	if native {
+		v.th = plat.NewHostThread(0)
+	} else {
+		encl, err := plat.NewEnclave()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.encl = encl
+		v.th = encl.NewThread()
+		v.th.Enter()
+	}
+	if withPool {
+		v.pool = rpc.NewPool(plat, 1, 64)
+		v.pool.Start()
+	}
+	return v
+}
+
+func (v *goldenServerEnv) fingerprint() serverFingerprint {
+	return serverFingerprint{
+		v.th.T.Cycles(),
+		v.th.SyncEnclaveCycles(),
+		v.plat.LLC.Stats().Misses,
+	}
+}
+
+func (v *goldenServerEnv) close() {
+	if v.pool != nil {
+		v.pool.Stop()
+	}
+}
+
+func mckvGoldenWorkload(t *testing.T, sys mckv.SyscallMode) serverFingerprint {
+	t.Helper()
+	native := sys == mckv.SysNative
+	v := newGoldenServerEnv(t, native, sys == mckv.SysRPC)
+	defer v.close()
+	pl := mckv.PlaceEnclave
+	if native {
+		pl = mckv.PlaceHost
+	}
+	store, err := mckv.NewStore(v.plat, v.th, mckv.Config{
+		MemLimitBytes: 8 << 20,
+		Placement:     pl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := mckv.NewServer(store, sys, v.pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	key := make([]byte, 20)
+	val := make([]byte, 256)
+	const items = 2000
+	for i := 0; i < items; i++ {
+		copy(key, fmt.Sprintf("key-%016d", i))
+		if err := store.Set(v.th, key, val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.th.T.Reset()
+	v.th.ResetEnclaveCycles()
+	v.plat.LLC.ResetStats()
+
+	gen := loadgen.NewKeyGen(4242, items)
+	for n := 0; n < 1500; n++ {
+		copy(key, fmt.Sprintf("key-%016d", gen.Next()-1))
+		if n%5 == 4 {
+			if err := srv.ServeSet(v.th, key, val); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := srv.ServeGet(v.th, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v.fingerprint()
+}
+
+func pserverGoldenWorkload(t *testing.T, sys pserver.SyscallMode) serverFingerprint {
+	t.Helper()
+	native := sys == pserver.SysNative
+	v := newGoldenServerEnv(t, native, sys == pserver.SysRPC)
+	defer v.close()
+	pl := pserver.PlaceEnclave
+	if native {
+		pl = pserver.PlaceHost
+	}
+	srv, err := pserver.New(v.plat, v.th, pserver.Config{
+		DataBytes: 4 << 20,
+		Layout:    kv.OpenAddressing,
+		Placement: pl,
+		Syscall:   sys,
+		Pool:      v.pool,
+		Encrypted: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	v.th.T.Reset()
+	v.th.ResetEnclaveCycles()
+	v.plat.LLC.ResetStats()
+
+	gen := loadgen.NewKeyGen(31337, srv.Entries())
+	keys := make([]uint64, 4)
+	for n := 0; n < 1500; n++ {
+		if err := srv.ServeRequest(v.th, gen.Batch(keys)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v.fingerprint()
+}
+
+func faceverifyGoldenWorkload(t *testing.T, sys faceverify.SyscallMode) serverFingerprint {
+	t.Helper()
+	native := sys == faceverify.SysNative
+	v := newGoldenServerEnv(t, native, sys == faceverify.SysRPC)
+	defer v.close()
+	pl := faceverify.PlaceEnclave
+	if native {
+		pl = faceverify.PlaceHost
+	}
+	store, err := faceverify.NewStore(v.plat, v.th, faceverify.Config{
+		Identities: 64,
+		Placement:  pl,
+		Synthetic:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := faceverify.NewServer(store, sys, v.pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	v.th.T.Reset()
+	v.th.ResetEnclaveCycles()
+	v.plat.LLC.ResetStats()
+
+	gen := loadgen.NewKeyGen(2718, 64)
+	for n := 0; n < 300; n++ {
+		if _, err := srv.Verify(v.th, gen.Next()-1, uint64(n%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return v.fingerprint()
+}
+
+// Fingerprints captured at commit f19d53e (the per-server SyscallMode
+// switches, one synchronous pool.Call per Recv and per Send). Any
+// divergence means the exitio dispatch path no longer charges the same
+// cycle sequence as the code it replaced, and every server benchmark
+// number stops being comparable to earlier runs.
+var goldenServerFingerprints = map[string]serverFingerprint{
+	"mckv/native":       {5685446, 0, 58805},
+	"mckv/ocall":        {33391996, 3626036, 58805},
+	"mckv/rpc":          {6770946, 3705386, 58805},
+	"pserver/native":    {4646352, 0, 58431},
+	"pserver/ocall":     {34522432, 5201412, 58431},
+	"pserver/rpc":       {7351132, 4731112, 58431},
+	"faceverify/native": {521237324, 0, 4915434},
+	"faceverify/ocall":  {589045741, 413586017, 4915434},
+	"faceverify/rpc":    {582040591, 411980767, 4915434},
+}
+
+func TestServerCyclesMatchSeed(t *testing.T) {
+	runs := map[string]func(*testing.T) serverFingerprint{
+		"mckv/native":       func(t *testing.T) serverFingerprint { return mckvGoldenWorkload(t, mckv.SysNative) },
+		"mckv/ocall":        func(t *testing.T) serverFingerprint { return mckvGoldenWorkload(t, mckv.SysOCall) },
+		"mckv/rpc":          func(t *testing.T) serverFingerprint { return mckvGoldenWorkload(t, mckv.SysRPC) },
+		"pserver/native":    func(t *testing.T) serverFingerprint { return pserverGoldenWorkload(t, pserver.SysNative) },
+		"pserver/ocall":     func(t *testing.T) serverFingerprint { return pserverGoldenWorkload(t, pserver.SysOCall) },
+		"pserver/rpc":       func(t *testing.T) serverFingerprint { return pserverGoldenWorkload(t, pserver.SysRPC) },
+		"faceverify/native": func(t *testing.T) serverFingerprint { return faceverifyGoldenWorkload(t, faceverify.SysNative) },
+		"faceverify/ocall":  func(t *testing.T) serverFingerprint { return faceverifyGoldenWorkload(t, faceverify.SysOCall) },
+		"faceverify/rpc":    func(t *testing.T) serverFingerprint { return faceverifyGoldenWorkload(t, faceverify.SysRPC) },
+	}
+	for name, want := range goldenServerFingerprints {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			got := runs[name](t)
+			if got != want {
+				t.Fatalf("server fingerprint diverged from seed:\n got  %v\n want %v\n(fields: cycles, in-enclave cycles, LLC misses)", got, want)
+			}
+		})
+	}
+}
+
+// TestServersGoldenPrint prints current fingerprints; used to
+// (re)capture the constants below when the cost model changes
+// intentionally.
+func TestServersGoldenPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("capture helper")
+	}
+	for _, sys := range []mckv.SyscallMode{mckv.SysNative, mckv.SysOCall, mckv.SysRPC} {
+		fmt.Printf("mckv/%s: %v\n", sys, mckvGoldenWorkload(t, sys))
+	}
+	for _, sys := range []pserver.SyscallMode{pserver.SysNative, pserver.SysOCall, pserver.SysRPC} {
+		fmt.Printf("pserver/%s: %v\n", sys, pserverGoldenWorkload(t, sys))
+	}
+	for _, sys := range []faceverify.SyscallMode{faceverify.SysNative, faceverify.SysOCall, faceverify.SysRPC} {
+		fmt.Printf("faceverify/%d: %v\n", int(sys), faceverifyGoldenWorkload(t, sys))
+	}
+}
