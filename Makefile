@@ -7,8 +7,8 @@
 #                  analyzers (trust boundary, determinism, lock order)
 #                  plus staticcheck when it is installed
 #   make bench   — regenerate the exit-less I/O microbenchmark artifacts
-#                  (BENCH_rpc_async.json and BENCH_io_engine.json in the
-#                  repo root)
+#                  (BENCH_rpc_async.json, BENCH_io_engine.json and
+#                  BENCH_selftune.json in the repo root)
 #   make test    — plain test run, no race detector
 
 GO ?= go
@@ -58,4 +58,4 @@ staticcheck:
 	fi
 
 bench:
-	$(GO) run ./cmd/eleos-bench -quick -run rpc-async,io-engine -json .
+	$(GO) run ./cmd/eleos-bench -quick -run rpc-async,io-engine,selftune -json .

@@ -131,6 +131,29 @@ func (c *Ctx) IO() *IOQueue {
 	return c.io
 }
 
+// Pump gives the runtime's self-tuning controller a chance to act, on
+// this context's virtual clock. Serving loops call it once per request:
+// off-epoch it costs one comparison, and on an epoch boundary the
+// controller resizes the worker pool and refreshes its mode advice,
+// which Pump then applies to the context's I/O queue (at a chain
+// boundary, if the queue exists). Returns whether an epoch fired;
+// always false on runtimes built without autotuning.
+func (c *Ctx) Pump() bool {
+	t := c.e.rt.tuner
+	if t == nil {
+		return false
+	}
+	if !t.Pump(c.th) {
+		return false
+	}
+	if c.io != nil {
+		// The runtime engine always has a pool and the advice is always
+		// a pool mode, so this cannot fail.
+		_ = t.ApplyMode(c.th, c.io.q)
+	}
+	return true
+}
+
 // IOQueue is a context-bound exit-less I/O submission/completion
 // queue: exitio.Queue with the owning context's thread implied. It is
 // owned by its context's goroutine.
@@ -141,6 +164,15 @@ type IOQueue struct {
 
 // Raw returns the engine-level queue (for use with explicit threads).
 func (q *IOQueue) Raw() *exitio.Queue { return q.q }
+
+// Mode returns the queue's current dispatch mode.
+func (q *IOQueue) Mode() IOMode { return q.q.Mode() }
+
+// SetMode switches the queue's dispatch mode at a chain boundary:
+// in-flight chains settle under the old mode first, and staged ops take
+// the new mode at their Submit. Under autotuning, Ctx.Pump does this
+// automatically.
+func (q *IOQueue) SetMode(m IOMode) error { return q.q.SetMode(q.c.th, m) }
 
 // Push stages op as the start of a new chain.
 func (q *IOQueue) Push(op IOOp) { q.q.Push(op) }

@@ -29,6 +29,7 @@ package eleos
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"eleos/internal/cycles"
@@ -37,6 +38,7 @@ import (
 	"eleos/internal/rpc"
 	"eleos/internal/sgx"
 	"eleos/internal/suvm"
+	"eleos/internal/tune"
 )
 
 // Re-exported building blocks. The internal packages carry the full
@@ -93,6 +95,20 @@ type (
 	IOPwrite = exitio.Pwrite
 	IOFsync  = exitio.Fsync
 	IOClose  = exitio.Close
+	// RPCStats is a snapshot of the exit-less RPC pool's counters.
+	RPCStats = rpc.Stats
+	// Tuner is the self-tuning controller (internal/tune): the feedback
+	// loop behind WithAutoTune / WithWorkerBounds.
+	Tuner = tune.Controller
+	// TunePolicy configures the controller (epoch length, worker
+	// bounds, thresholds, hysteresis).
+	TunePolicy = tune.Policy
+	// TuneStats is a snapshot of controller activity.
+	TuneStats = tune.Stats
+	// TuneAdvice is the controller's current submission recommendation.
+	TuneAdvice = tune.Advice
+	// TuneDecision is one recorded epoch decision.
+	TuneDecision = tune.Decision
 )
 
 // Exit-less I/O dispatch modes.
@@ -129,6 +145,18 @@ type Config struct {
 	// RPCRing is the total RPC queue capacity, split across the worker
 	// ring shards (default 256).
 	RPCRing int
+	// AutoTune enables the self-tuning controller: the pool starts at
+	// Tune.MinWorkers, RPCWorkers is ignored, and serving loops drive
+	// adaptation via Ctx.Pump. Prefer WithWorkerBounds / WithAutoTune.
+	AutoTune bool
+	// Tune is the controller policy when AutoTune is set; zero fields
+	// take the tune package defaults.
+	Tune TunePolicy
+
+	// Option bookkeeping for the mutual-exclusion check: which of the
+	// conflicting knobs the caller actually spelled out.
+	fixedWorkers  bool
+	tuneRequested bool
 }
 
 // DefaultConfig returns the paper's configuration: two RPC workers and
@@ -139,9 +167,17 @@ func DefaultConfig() Config {
 
 // Runtime owns one simulated machine and its untrusted Eleos runtime.
 type Runtime struct {
-	plat *sgx.Platform
-	pool *rpc.Pool
-	io   *exitio.Engine
+	plat  *sgx.Platform
+	pool  *rpc.Pool
+	io    *exitio.Engine
+	tuner *tune.Controller
+
+	// mu guards the enclave registry only; it is never held across
+	// calls into the subsystems.
+	//
+	//eleos:lockorder 3
+	mu       sync.Mutex
+	enclaves []*Enclave
 }
 
 // NewRuntime builds the machine and starts the RPC worker pool. With no
@@ -151,16 +187,29 @@ type Runtime struct {
 //
 //	rt, _ := eleos.NewRuntime(eleos.DefaultConfig())        // classic
 //	rt, _ := eleos.NewRuntime(eleos.WithRPCWorkers(4))      // options
+//	rt, _ := eleos.NewRuntime(eleos.WithWorkerBounds(1, 8)) // self-tuning
 func NewRuntime(opts ...Option) (*Runtime, error) {
 	cfg := DefaultConfig()
 	for _, o := range opts {
 		o.applyOption(&cfg)
+	}
+	if cfg.fixedWorkers && cfg.tuneRequested {
+		return nil, ErrConflictingOptions
 	}
 	if cfg.RPCWorkers == 0 {
 		cfg.RPCWorkers = 2
 	}
 	if cfg.RPCRing == 0 {
 		cfg.RPCRing = 256
+	}
+	workers := cfg.RPCWorkers
+	if cfg.AutoTune {
+		// A self-tuning pool starts at the lower bound and earns its
+		// workers from the load.
+		workers = cfg.Tune.MinWorkers
+		if workers == 0 {
+			workers = 1
+		}
 	}
 	plat, err := sgx.NewPlatform(cfg.Machine)
 	if err != nil {
@@ -169,13 +218,23 @@ func NewRuntime(opts ...Option) (*Runtime, error) {
 	if cfg.CATWays > 0 {
 		plat.LLC.EnablePartitioning(cfg.CATWays)
 	}
-	pool := rpc.NewPool(plat, cfg.RPCWorkers, cfg.RPCRing)
+	pool := rpc.NewPool(plat, workers, cfg.RPCRing)
 	pool.Start()
 	io, err := exitio.NewEngine(exitio.ModeRPCAsync, pool)
 	if err != nil {
+		pool.Stop()
 		return nil, fmt.Errorf("eleos: building I/O engine: %w", err)
 	}
-	return &Runtime{plat: plat, pool: pool, io: io}, nil
+	rt := &Runtime{plat: plat, pool: pool, io: io}
+	if cfg.AutoTune {
+		tuner, err := tune.New(pool, io, cfg.Tune)
+		if err != nil {
+			pool.Stop()
+			return nil, fmt.Errorf("eleos: building autotuner: %w", err)
+		}
+		rt.tuner = tuner
+	}
+	return rt, nil
 }
 
 // Close stops the RPC workers.
@@ -184,8 +243,15 @@ func (r *Runtime) Close() { r.pool.Stop() }
 // Platform exposes the simulated machine (cost model, LLC, driver).
 func (r *Runtime) Platform() *sgx.Platform { return r.plat }
 
-// Pool exposes the RPC worker pool.
+// Pool exposes the RPC worker pool. For observability prefer
+// Runtime.Stats, which snapshots the pool together with the rest of the
+// runtime.
 func (r *Runtime) Pool() *rpc.Pool { return r.pool }
+
+// Tuner exposes the self-tuning controller, or nil when the runtime was
+// built without WithAutoTune / WithWorkerBounds. Serving loops normally
+// drive it through Ctx.Pump rather than directly.
+func (r *Runtime) Tuner() *Tuner { return r.tuner }
 
 // IOEngine exposes the runtime's shared exit-less I/O engine. It
 // dispatches in rpc-async mode over the runtime's worker pool; Ctx.IO
@@ -265,11 +331,25 @@ func (r *Runtime) NewEnclave(cfg EnclaveConfig, opts ...EnclaveOption) (*Enclave
 	case cfg.SwapperInterval > 0:
 		e.swapper = heap.StartSwapper(cfg.SwapperInterval)
 	}
+	r.mu.Lock()
+	r.enclaves = append(r.enclaves, e)
+	r.mu.Unlock()
+	if r.tuner != nil {
+		r.tuner.WatchHeap(heap)
+	}
 	return e, nil
 }
 
 // Destroy stops the swapper and tears the enclave down.
 func (e *Enclave) Destroy() {
+	e.rt.mu.Lock()
+	for i, other := range e.rt.enclaves {
+		if other == e {
+			e.rt.enclaves = append(e.rt.enclaves[:i], e.rt.enclaves[i+1:]...)
+			break
+		}
+	}
+	e.rt.mu.Unlock()
 	if e.swapper != nil {
 		e.swapper.Stop()
 		e.swapper = nil
@@ -289,6 +369,10 @@ func (e *Enclave) Heap() *suvm.Heap { return e.heap }
 func (e *Enclave) Swapper() *Swapper { return e.swapper }
 
 // Stats returns the SUVM counters.
+//
+// Deprecated: use Runtime.Stats (whose Heaps list carries every live
+// enclave's counters) or Heap().Stats() directly. Kept as a thin
+// wrapper for existing call sites.
 func (e *Enclave) Stats() HeapStats { return e.heap.Stats() }
 
 // NewSegment allocates inter-enclave shared secure memory on the

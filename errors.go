@@ -1,10 +1,20 @@
 package eleos
 
 import (
+	"errors"
+
 	"eleos/internal/rpc"
 	"eleos/internal/sgx"
 	"eleos/internal/suvm"
 )
+
+// ErrConflictingOptions marks NewRuntime calls that both fix the worker
+// pool size (WithRPCWorkers) and enable the self-tuning controller
+// (WithWorkerBounds or WithAutoTune): a fixed pool and an adaptive pool
+// are mutually exclusive, whichever order the options appear in. Match
+// with errors.Is.
+var ErrConflictingOptions = errors.New(
+	"eleos: conflicting options: WithRPCWorkers fixes the pool size and disables autotuning, WithWorkerBounds/WithAutoTune adapt it")
 
 // Sentinel errors of the runtime, re-exported from the internal
 // packages that produce them so callers can match with errors.Is

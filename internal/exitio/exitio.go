@@ -97,11 +97,12 @@ type Engine struct {
 	mode Mode
 	pool *rpc.Pool
 
-	doorbells atomic.Uint64
-	chains    atomic.Uint64
-	ops       atomic.Uint64
-	linked    atomic.Uint64
-	reapStall atomic.Uint64
+	doorbells    atomic.Uint64
+	chains       atomic.Uint64
+	ops          atomic.Uint64
+	linked       atomic.Uint64
+	reapStall    atomic.Uint64
+	modeSwitches atomic.Uint64
 }
 
 // NewEngine builds an engine. pool is required for the RPC modes and
@@ -113,18 +114,19 @@ func NewEngine(mode Mode, pool *rpc.Pool) (*Engine, error) {
 	return &Engine{mode: mode, pool: pool}, nil
 }
 
-// Mode returns the engine's dispatch mode.
+// Mode returns the engine's default dispatch mode — the mode new Queues
+// start in. A queue may diverge later via Queue.SetMode.
 func (e *Engine) Mode() Mode { return e.mode }
 
 // Pool returns the worker pool (nil in the non-RPC modes).
 func (e *Engine) Pool() *rpc.Pool { return e.pool }
 
-// NewQueue creates a submission/completion queue. A Queue is owned by
-// one serving thread: stage, submit and reap from that thread only
-// (completion callbacks from the workers synchronize through the
-// queue's wake channel).
+// NewQueue creates a submission/completion queue in the engine's
+// default dispatch mode. A Queue is owned by one serving thread: stage,
+// submit and reap from that thread only (completion callbacks from the
+// workers synchronize through the queue's wake channel).
 func (e *Engine) NewQueue() *Queue {
-	return &Queue{eng: e, wake: make(chan struct{}, 1)}
+	return &Queue{eng: e, mode: e.mode, wake: make(chan struct{}, 1)}
 }
 
 // Stats is a snapshot of engine activity.
@@ -143,6 +145,10 @@ type Stats struct {
 	// settling async completions at reap time: the residual worker
 	// latency the caller's compute did not hide, plus completion polls.
 	ReapStallCycles uint64
+	// ModeSwitches counts Queue.SetMode calls that actually changed a
+	// queue's dispatch mode — the self-tuning controller's live
+	// engine-mode flips.
+	ModeSwitches uint64
 }
 
 // Stats returns a snapshot of the counters.
@@ -153,5 +159,6 @@ func (e *Engine) Stats() Stats {
 		Ops:             e.ops.Load(),
 		Linked:          e.linked.Load(),
 		ReapStallCycles: e.reapStall.Load(),
+		ModeSwitches:    e.modeSwitches.Load(),
 	}
 }

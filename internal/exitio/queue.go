@@ -57,22 +57,60 @@ type chain struct {
 // can block instead of spinning per future — a Queue therefore needs
 // no mutex, and must not be shared between serving threads.
 type Queue struct {
-	eng     *Engine
+	eng *Engine
+	// mode is the queue's current dispatch mode. It starts as the
+	// engine's default and may be changed between chains with SetMode —
+	// the live engine-mode flip the self-tuning controller drives.
+	mode    Mode
 	staged  []sqe
 	pending []*chain
 	ready   []CQE
 	// wake carries lossy completion tokens from notifyOne: capacity 1,
 	// non-blocking sends. Safe because the queue has a single reaper,
 	// which re-checks the head future after every token — a dropped
-	// token implies a token is already buffered.
+	// token implies a token is already buffered. SetMode drains stale
+	// tokens so they never cross a mode epoch.
 	wake chan struct{}
 }
 
 // Engine returns the owning engine.
 func (q *Queue) Engine() *Engine { return q.eng }
 
-// Mode returns the engine's dispatch mode.
-func (q *Queue) Mode() Mode { return q.eng.mode }
+// Mode returns the queue's current dispatch mode.
+func (q *Queue) Mode() Mode { return q.mode }
+
+// SetMode switches the queue's dispatch mode at a chain boundary. Mode
+// changes never cut a chain: every in-flight chain is settled under the
+// old mode first (its completions join the ready list in submission
+// order, with the usual residual-latency accounting on th), and ops
+// staged but not yet submitted cross the boundary whole under the new
+// mode at their Submit. Stale wake tokens from the old mode's reaps are
+// drained before the switch — with no chain pending none can arrive
+// concurrently — so a token buffered by an already-collected completion
+// can never leak into a later async epoch and spuriously wake its
+// reaper. Returns an error (leaving the mode unchanged) if the new mode
+// needs an rpc pool the engine was built without.
+func (q *Queue) SetMode(th *sgx.Thread, m Mode) error {
+	if m == q.mode {
+		return nil
+	}
+	if m.NeedsPool() && q.eng.pool == nil {
+		return fmt.Errorf("exitio: SetMode: %s dispatch requires a worker pool", m)
+	}
+	for len(q.pending) > 0 {
+		q.waitHead(th)
+	}
+	for drained := false; !drained; {
+		select {
+		case <-q.wake:
+		default:
+			drained = true
+		}
+	}
+	q.mode = m
+	q.eng.modeSwitches.Add(1)
+	return nil
+}
 
 // Push stages op as the start of a new chain.
 func (q *Queue) Push(op Op) { q.push(op, 0, false) }
@@ -129,7 +167,7 @@ func execChain(h *sgx.HostCtx, ops []sqe, res []result) {
 }
 
 // Submit rings the doorbell for everything staged: each chain crosses
-// the boundary once, via the engine's dispatch mode. Synchronous modes
+// the boundary once, via the queue's dispatch mode. Synchronous modes
 // (Direct, OCall, RPCSync) complete the chains before returning — a
 // single-op chain in those modes charges exactly what the per-server
 // switches used to. ModeRPCAsync publishes each chain to the pool and
@@ -156,7 +194,7 @@ func (q *Queue) Submit(th *sgx.Thread) error {
 		q.eng.chains.Add(1)
 		q.eng.ops.Add(uint64(len(ops)))
 		q.eng.linked.Add(uint64(len(ops) - 1))
-		switch q.eng.mode {
+		switch q.mode {
 		case ModeDirect:
 			execChain(th.HostContext(), c.ops, c.res)
 			q.complete(c)

@@ -41,6 +41,7 @@ func (f *Future) Wait(caller *sgx.Thread) {
 	residual := caller.ChargeResidual(req.submitStamp, req.workCycles)
 	caller.ChargeOutside(caller.Platform().Model.RPCPoll)
 	f.pool.waitCycles.Add(residual)
+	f.pool.settledWork.Add(req.workCycles)
 	f.work = req.workCycles
 	f.waited = true
 	f.req = nil

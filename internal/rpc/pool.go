@@ -60,6 +60,19 @@ type Stats struct {
 	// Future.Wait / CallBatch collection — the part of the workers' time
 	// the callers could not hide behind their own compute.
 	WaitCycles uint64
+	// SettledWorkCycles accumulates the worker execution cycles of every
+	// request whose completion the submitter has observed (Call return,
+	// Future.Wait, CallBatch collection). Unlike WorkerOps or Steals it
+	// advances only on the submitting threads, so in a single-driver run
+	// it is a deterministic measure of offered service demand — the
+	// signal the self-tuning controller divides by elapsed virtual time
+	// to estimate required parallelism.
+	SettledWorkCycles uint64
+	// Workers is the live worker count at snapshot time; Grows and
+	// Shrinks count Resize operations in each direction.
+	Workers int
+	Grows   uint64
+	Shrinks uint64
 }
 
 // Pool lifecycle states.
@@ -77,12 +90,16 @@ const (
 	yieldPolls = 256
 )
 
-// worker is one untrusted poller: its thread, its own ring shard, and
-// the wake channel the sleep rung of the backoff ladder blocks on.
+// worker is one untrusted poller: its thread, its own ring shard, the
+// wake channel the sleep rung of the backoff ladder blocks on, and the
+// retire channel a live shrink closes to ask the worker to drain its
+// own ring and exit.
 type worker struct {
 	th       *sgx.Thread
 	ring     *ring
 	wake     chan struct{}
+	retire   chan struct{}
+	retired  chan struct{} // closed by the worker after its drain
 	sleeping atomic.Bool
 }
 
@@ -90,10 +107,22 @@ type worker struct {
 // job rings, with idle workers stealing from their siblings. Workers run
 // with the CoSRPC cache class of service, so enabling LLC partitioning
 // confines their pollution (§3.1, Fig 6b).
+//
+// The worker set is dynamic: Resize grows and shrinks it while the pool
+// is running, without a Stop/Start cycle. Submitters read the published
+// set through an atomic pointer; the inflight counter fences a shrink
+// against submissions that hold the previous snapshot, so an accepted
+// request always lands on a ring some worker will drain.
 type Pool struct {
-	plat *sgx.Platform
-	ws   []*worker
-	wg   sync.WaitGroup
+	plat     *sgx.Platform
+	ws       atomic.Pointer[[]*worker] // published worker set
+	perShard int
+	wg       sync.WaitGroup
+
+	// resizeMu serializes Start, Stop and Resize against each other.
+	//
+	//eleos:lockorder 90
+	resizeMu sync.Mutex
 
 	state    atomic.Int32
 	inflight atomic.Int64 // submitters between their state check and enqueue
@@ -112,6 +141,9 @@ type Pool struct {
 	sleeps       atomic.Uint64
 	wakes        atomic.Uint64
 	waitCycles   atomic.Uint64
+	settledWork  atomic.Uint64
+	grows        atomic.Uint64
+	shrinks      atomic.Uint64
 	depth        atomic.Int64
 	peakDepth    atomic.Int64
 }
@@ -128,28 +160,41 @@ func NewPool(p *sgx.Platform, workers, ringCapacity int) *Pool {
 	for perShard < ringCapacity/workers {
 		perShard *= 2
 	}
-	pool := &Pool{plat: p}
+	pool := &Pool{plat: p, perShard: perShard}
+	set := make([]*worker, 0, workers)
 	for i := 0; i < workers; i++ {
-		pool.ws = append(pool.ws, &worker{
-			th:   p.NewHostThread(cache.CoSRPC),
-			ring: newRing(perShard),
-			wake: make(chan struct{}, 1),
-		})
+		set = append(set, pool.newWorker())
 	}
+	pool.ws.Store(&set)
 	return pool
 }
+
+func (p *Pool) newWorker() *worker {
+	return &worker{
+		th:      p.plat.NewHostThread(cache.CoSRPC),
+		ring:    newRing(p.perShard),
+		wake:    make(chan struct{}, 1),
+		retire:  make(chan struct{}),
+		retired: make(chan struct{}),
+	}
+}
+
+// workers returns the published worker set.
+func (p *Pool) workers() []*worker { return *p.ws.Load() }
 
 // Start launches the worker goroutines. Idempotent while running; a
 // stopped pool can be started again.
 func (p *Pool) Start() {
+	p.resizeMu.Lock()
+	defer p.resizeMu.Unlock()
 	if !p.state.CompareAndSwap(poolIdle, poolRunning) {
 		return
 	}
 	p.draining.Store(false)
 	p.stopC = make(chan struct{})
-	for i := range p.ws {
+	for _, w := range p.workers() {
 		p.wg.Add(1)
-		go p.workerLoop(i, p.stopC)
+		go p.workerLoop(w, p.stopC)
 	}
 }
 
@@ -158,6 +203,8 @@ func (p *Pool) Start() {
 // the workers drain every ring before exiting — so a request that was
 // accepted is always executed and its waiter always completes.
 func (p *Pool) Stop() {
+	p.resizeMu.Lock()
+	defer p.resizeMu.Unlock()
 	if !p.state.CompareAndSwap(poolRunning, poolStopping) {
 		return
 	}
@@ -170,11 +217,69 @@ func (p *Pool) Stop() {
 	p.state.Store(poolIdle)
 }
 
-// Workers returns the pool's untrusted threads (the harness aggregates
-// their cycle counters into end-to-end numbers).
+// Resize grows or shrinks the live worker set to n without stopping the
+// pool. Growth publishes fresh workers (new host threads, new ring
+// shards) and starts their goroutines. Shrink unpublishes the trailing
+// workers so no new submission can route to them, waits out submitters
+// still holding the previous snapshot (the inflight fence), then asks
+// each victim to drain its own ring and exit — an accepted request is
+// always executed, exactly as under Stop. Returns ErrStopped if the
+// pool is not running.
+func (p *Pool) Resize(n int) error {
+	if n < 1 {
+		n = 1
+	}
+	p.resizeMu.Lock()
+	defer p.resizeMu.Unlock()
+	if p.state.Load() != poolRunning {
+		return ErrStopped
+	}
+	cur := p.workers()
+	switch {
+	case n > len(cur):
+		next := make([]*worker, len(cur), n)
+		copy(next, cur)
+		for i := len(cur); i < n; i++ {
+			w := p.newWorker()
+			next = append(next, w)
+			p.wg.Add(1)
+			go p.workerLoop(w, p.stopC)
+		}
+		p.ws.Store(&next)
+		p.grows.Add(1)
+	case n < len(cur):
+		next := make([]*worker, n)
+		copy(next, cur[:n])
+		victims := cur[n:]
+		p.ws.Store(&next)
+		// Fence: any submitter that raised inflight before the store
+		// may still hold the old snapshot and enqueue onto a victim's
+		// ring; once inflight quiesces, every future submission routes
+		// through the shrunk set.
+		for p.inflight.Load() != 0 {
+			runtime.Gosched()
+		}
+		for _, v := range victims {
+			close(v.retire)
+		}
+		for _, v := range victims {
+			<-v.retired
+		}
+		p.shrinks.Add(1)
+	}
+	return nil
+}
+
+// WorkerCount returns the number of live workers.
+func (p *Pool) WorkerCount() int { return len(p.workers()) }
+
+// Workers returns the live untrusted worker threads (the harness
+// aggregates their cycle counters into end-to-end numbers). Workers
+// retired by Resize are not included.
 func (p *Pool) Workers() []*sgx.Thread {
-	ths := make([]*sgx.Thread, len(p.ws))
-	for i, w := range p.ws {
+	ws := p.workers()
+	ths := make([]*sgx.Thread, len(ws))
+	for i, w := range ws {
 		ths[i] = w.th
 	}
 	return ths
@@ -183,26 +288,23 @@ func (p *Pool) Workers() []*sgx.Thread {
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() Stats {
 	return Stats{
-		Calls:          p.calls.Load(),
-		SyncCalls:      p.syncCalls.Load(),
-		AsyncCalls:     p.asyncCalls.Load(),
-		Batches:        p.batches.Load(),
-		BatchedCalls:   p.batchedCalls.Load(),
-		WorkerOps:      p.workerOps.Load(),
-		Steals:         p.steals.Load(),
-		Sleeps:         p.sleeps.Load(),
-		Wakes:          p.wakes.Load(),
-		QueueDepth:     p.depth.Load(),
-		PeakQueueDepth: p.peakDepth.Load(),
-		WaitCycles:     p.waitCycles.Load(),
+		Calls:             p.calls.Load(),
+		SyncCalls:         p.syncCalls.Load(),
+		AsyncCalls:        p.asyncCalls.Load(),
+		Batches:           p.batches.Load(),
+		BatchedCalls:      p.batchedCalls.Load(),
+		WorkerOps:         p.workerOps.Load(),
+		Steals:            p.steals.Load(),
+		Sleeps:            p.sleeps.Load(),
+		Wakes:             p.wakes.Load(),
+		QueueDepth:        p.depth.Load(),
+		PeakQueueDepth:    p.peakDepth.Load(),
+		WaitCycles:        p.waitCycles.Load(),
+		SettledWorkCycles: p.settledWork.Load(),
+		Workers:           p.WorkerCount(),
+		Grows:             p.grows.Load(),
+		Shrinks:           p.shrinks.Load(),
 	}
-}
-
-// shardOf picks the submission shard for a caller: affinity by thread
-// ID, so a caller's requests stay on one ring and its cache lines, with
-// work stealing rebalancing any skew.
-func (p *Pool) shardOf(caller *sgx.Thread) int {
-	return int(uint64(caller.T.ID()) % uint64(len(p.ws)))
 }
 
 func (p *Pool) getReq(fn func(*sgx.HostCtx), stamp uint64) *request {
@@ -223,21 +325,33 @@ func (p *Pool) putReq(req *request) {
 	p.reqPool.Put(req)
 }
 
-// submit publishes req on shard s. The depth counter is raised before
-// the descriptor lands in the ring, so no worker can pass its sleep
-// re-check while a publish is in flight — including while the ring is
-// momentarily full — which makes wake-on-enqueue lost-wakeup free.
-func (p *Pool) submit(req *request, s int) error {
+// submit publishes req on the caller's affinity shard. The depth counter
+// is raised before the descriptor lands in the ring, so no worker can
+// pass its sleep re-check while a publish is in flight — including while
+// the ring is momentarily full — which makes wake-on-enqueue lost-wakeup
+// free. The worker-set snapshot is taken inside the inflight window, so
+// a concurrent shrink waits for this publish before draining the rings
+// it unpublished.
+func (p *Pool) submit(req *request, caller *sgx.Thread) error {
 	p.inflight.Add(1)
 	if p.state.Load() != poolRunning {
 		p.inflight.Add(-1)
 		return ErrStopped
 	}
+	ws := p.workers()
+	s := shardOf(caller, len(ws))
 	p.bumpPeak(p.depth.Add(1))
-	p.ws[s].ring.enqueue(req)
+	ws[s].ring.enqueue(req)
 	p.inflight.Add(-1)
-	p.notify(s)
+	p.notify(ws, s)
 	return nil
+}
+
+// shardOf picks the submission shard for a caller: affinity by thread
+// ID, so a caller's requests stay on one ring and its cache lines, with
+// work stealing rebalancing any skew.
+func shardOf(caller *sgx.Thread, n int) int {
+	return int(uint64(caller.T.ID()) % uint64(n))
 }
 
 func (p *Pool) bumpPeak(d int64) {
@@ -252,26 +366,25 @@ func (p *Pool) bumpPeak(d int64) {
 // notify wakes sleeping workers after a publish: the target shard's
 // owner first, then — if the backlog justifies it — sleeping siblings,
 // which will find the work by stealing.
-func (p *Pool) notify(s int) {
+func (p *Pool) notify(ws []*worker, s int) {
 	need := p.depth.Load()
 	if need <= 0 {
 		return
 	}
-	if int64(len(p.ws)) < need {
-		need = int64(len(p.ws))
+	if int64(len(ws)) < need {
+		need = int64(len(ws))
 	}
-	if p.wakeOne(s) {
+	if wakeOne(ws[s]) {
 		need--
 	}
-	for i := 0; need > 0 && i < len(p.ws); i++ {
-		if i != s && p.wakeOne(i) {
+	for i := 0; need > 0 && i < len(ws); i++ {
+		if i != s && wakeOne(ws[i]) {
 			need--
 		}
 	}
 }
 
-func (p *Pool) wakeOne(i int) bool {
-	w := p.ws[i]
+func wakeOne(w *worker) bool {
 	if !w.sleeping.Load() {
 		return false
 	}
@@ -283,16 +396,18 @@ func (p *Pool) wakeOne(i int) bool {
 	}
 }
 
-// dequeueFor pops work for worker i: its own ring first, then a steal
-// sweep over the siblings.
-func (p *Pool) dequeueFor(i int) (req *request, stolen bool) {
-	if req := p.ws[i].ring.dequeue(); req != nil {
+// dequeueFor pops work for worker w: its own ring first, then a steal
+// sweep over the published siblings.
+func (p *Pool) dequeueFor(w *worker) (req *request, stolen bool) {
+	if req := w.ring.dequeue(); req != nil {
 		p.depth.Add(-1)
 		return req, false
 	}
-	n := len(p.ws)
-	for k := 1; k < n; k++ {
-		if req := p.ws[(i+k)%n].ring.dequeue(); req != nil {
+	for _, o := range p.workers() {
+		if o == w {
+			continue
+		}
+		if req := o.ring.dequeue(); req != nil {
 			p.depth.Add(-1)
 			return req, true
 		}
@@ -305,13 +420,19 @@ func (p *Pool) dequeueFor(i int) (req *request, stolen bool) {
 // never touch EPC contents or call enclave code.
 //
 //eleos:untrusted
-func (p *Pool) workerLoop(i int, stopC chan struct{}) {
+func (p *Pool) workerLoop(w *worker, stopC chan struct{}) {
 	defer p.wg.Done()
-	w := p.ws[i]
 	ctx := w.th.HostContext()
 	idle := 0
 	for {
-		req, stolen := p.dequeueFor(i)
+		select {
+		case <-w.retire:
+			p.drainOwn(w, ctx)
+			close(w.retired)
+			return
+		default:
+		}
+		req, stolen := p.dequeueFor(w)
 		if req == nil {
 			if p.draining.Load() {
 				// Every ring was empty after the drain flag: done.
@@ -333,24 +454,50 @@ func (p *Pool) workerLoop(i int, stopC chan struct{}) {
 		if stolen {
 			p.steals.Add(1)
 		}
-		start := w.th.T.Cycles()
-		req.fn(ctx)
-		req.workCycles = w.th.T.Cycles() - start
-		p.workerOps.Add(1)
-		notify := req.notify
-		req.done.Store(1)
-		if notify != nil {
-			notify()
+		p.execute(w, ctx, req)
+	}
+}
+
+// execute runs one request on the worker thread and publishes its
+// completion.
+//
+//eleos:untrusted
+func (p *Pool) execute(w *worker, ctx *sgx.HostCtx, req *request) {
+	start := w.th.T.Cycles()
+	req.fn(ctx)
+	req.workCycles = w.th.T.Cycles() - start
+	p.workerOps.Add(1)
+	notify := req.notify
+	req.done.Store(1)
+	if notify != nil {
+		notify()
+	}
+}
+
+// drainOwn empties a retiring worker's own ring. After the shrink's
+// inflight fence no new submission can route here, so draining to empty
+// leaves no accepted request behind. Steal traffic is skipped: the
+// survivors no longer see this ring, and the retiree has no business
+// touching theirs.
+//
+//eleos:untrusted
+func (p *Pool) drainOwn(w *worker, ctx *sgx.HostCtx) {
+	for {
+		req := w.ring.dequeue()
+		if req == nil {
+			return
 		}
+		p.depth.Add(-1)
+		p.execute(w, ctx, req)
 	}
 }
 
 // sleep is the bottom rung of the backoff ladder. The worker registers
 // as sleeping, re-checks the published depth (a submitter raises depth
 // before it could ever need a wake, so this re-check closes the race),
-// and only then blocks until an enqueue or Stop wakes it. Runs on the
-// untrusted worker thread (a host thread may futex-sleep; an enclave
-// thread may not).
+// and only then blocks until an enqueue, Stop or a retiring Resize wakes
+// it. Runs on the untrusted worker thread (a host thread may
+// futex-sleep; an enclave thread may not).
 //
 //eleos:untrusted
 func (p *Pool) sleep(w *worker, stopC chan struct{}) {
@@ -365,6 +512,7 @@ func (p *Pool) sleep(w *worker, stopC chan struct{}) {
 		p.wakes.Add(1)
 		w.th.T.Charge(p.plat.Model.RPCWake)
 	case <-stopC:
+	case <-w.retire:
 	}
 	w.sleeping.Store(false)
 }
@@ -382,7 +530,7 @@ func (p *Pool) Call(caller *sgx.Thread, fn func(*sgx.HostCtx)) error {
 	m := caller.Platform().Model
 	caller.T.Charge(m.RPCEnqueue)
 	req := p.getReq(fn, caller.T.Cycles())
-	if err := p.submit(req, p.shardOf(caller)); err != nil {
+	if err := p.submit(req, caller); err != nil {
 		p.putReq(req)
 		return err
 	}
@@ -392,6 +540,7 @@ func (p *Pool) Call(caller *sgx.Thread, fn func(*sgx.HostCtx)) error {
 	// The worker's processing time is observed as synchronous latency,
 	// but it is not enclave execution — the caller merely polls.
 	caller.ChargeOutside(req.workCycles + m.RPCPoll)
+	p.settledWork.Add(req.workCycles)
 	p.calls.Add(1)
 	p.syncCalls.Add(1)
 	p.putReq(req)
@@ -422,7 +571,7 @@ func (p *Pool) CallAsyncNotify(caller *sgx.Thread, fn func(*sgx.HostCtx), notify
 	caller.T.Charge(m.RPCEnqueue)
 	req := p.getReq(fn, caller.T.Cycles())
 	req.notify = notify
-	if err := p.submit(req, p.shardOf(caller)); err != nil {
+	if err := p.submit(req, caller); err != nil {
 		p.putReq(req)
 		return nil, err
 	}
@@ -449,7 +598,6 @@ func (p *Pool) CallBatch(caller *sgx.Thread, fns []func(*sgx.HostCtx)) error {
 	m := caller.Platform().Model
 	caller.T.Charge(m.RPCEnqueue + uint64(n-1)*m.RPCBatchEnqueue)
 	stamp := caller.T.Cycles()
-	s := p.shardOf(caller)
 	reqs := make([]*request, n)
 
 	p.inflight.Add(1)
@@ -457,17 +605,19 @@ func (p *Pool) CallBatch(caller *sgx.Thread, fns []func(*sgx.HostCtx)) error {
 		p.inflight.Add(-1)
 		return ErrStopped
 	}
+	ws := p.workers()
+	s := shardOf(caller, len(ws))
 	for i, fn := range fns {
 		req := p.getReq(fn, stamp)
 		reqs[i] = req
 		p.bumpPeak(p.depth.Add(1))
-		p.ws[s].ring.enqueue(req)
+		ws[s].ring.enqueue(req)
 		if i == 0 {
-			p.notify(s) // recruit workers while the rest publishes
+			p.notify(ws, s) // recruit workers while the rest publishes
 		}
 	}
 	p.inflight.Add(-1)
-	p.notify(s)
+	p.notify(ws, s)
 
 	var total, maxWork uint64
 	for _, req := range reqs {
@@ -479,13 +629,14 @@ func (p *Pool) CallBatch(caller *sgx.Thread, fns []func(*sgx.HostCtx)) error {
 			maxWork = req.workCycles
 		}
 	}
-	span := (total + uint64(len(p.ws)) - 1) / uint64(len(p.ws))
+	span := (total + uint64(len(ws)) - 1) / uint64(len(ws))
 	if span < maxWork {
 		span = maxWork
 	}
 	residual := caller.ChargeResidual(stamp, span)
 	caller.ChargeOutside(m.RPCPoll)
 	p.waitCycles.Add(residual)
+	p.settledWork.Add(total)
 	p.calls.Add(uint64(n))
 	p.batches.Add(1)
 	p.batchedCalls.Add(uint64(n))

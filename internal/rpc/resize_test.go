@@ -1,0 +1,206 @@
+package rpc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"eleos/internal/sgx"
+)
+
+// Live resize: the pool grows and shrinks its worker set while running,
+// without a Stop/Start cycle, and never loses an accepted request.
+
+func newResizeEnv(t *testing.T, workers int) (*sgx.Platform, *Pool, *sgx.Thread) {
+	t.Helper()
+	plat, err := sgx.NewPlatform(sgx.Config{UsablePRMBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(plat, workers, 256)
+	pool.Start()
+	encl, err := plat.NewEnclave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := encl.NewThread()
+	th.Enter()
+	return plat, pool, th
+}
+
+func TestResizeGrowAndShrink(t *testing.T) {
+	_, pool, th := newResizeEnv(t, 1)
+	defer pool.Stop()
+
+	var ran atomic.Int64
+	burst := func(n int) {
+		for i := 0; i < n; i++ {
+			if err := pool.Call(th, func(*sgx.HostCtx) { ran.Add(1) }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	burst(50)
+	if got := pool.WorkerCount(); got != 1 {
+		t.Fatalf("initial WorkerCount = %d, want 1", got)
+	}
+	if err := pool.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.WorkerCount(); got != 4 {
+		t.Fatalf("after Resize(4) WorkerCount = %d", got)
+	}
+	if got := len(pool.Workers()); got != 4 {
+		t.Fatalf("Workers() returned %d threads, want 4", got)
+	}
+	burst(50)
+	if err := pool.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.WorkerCount(); got != 2 {
+		t.Fatalf("after Resize(2) WorkerCount = %d", got)
+	}
+	burst(50)
+	if got := ran.Load(); got != 150 {
+		t.Fatalf("ran %d of 150 calls", got)
+	}
+	st := pool.Stats()
+	if st.Grows != 1 || st.Shrinks != 1 || st.Workers != 2 {
+		t.Fatalf("resize counters: grows=%d shrinks=%d workers=%d", st.Grows, st.Shrinks, st.Workers)
+	}
+	// Resize to the current size is a no-op, not a counted resize.
+	if err := pool.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.Grows != 1 || st.Shrinks != 1 {
+		t.Fatalf("no-op resize was counted: %+v", st)
+	}
+}
+
+// A shrink must execute every async request already published — even
+// ones sitting on the victims' rings — before the victims exit.
+func TestShrinkDrainsVictimRings(t *testing.T) {
+	_, pool, th := newResizeEnv(t, 8)
+	defer pool.Stop()
+
+	var ran atomic.Int64
+	futs := make([]*Future, 0, 200)
+	for i := 0; i < 200; i++ {
+		f, err := pool.CallAsync(th, func(*sgx.HostCtx) { ran.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	if err := pool.Resize(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range futs {
+		f.Wait(th)
+	}
+	if got := ran.Load(); got != 200 {
+		t.Fatalf("ran %d of 200 async calls across the shrink", got)
+	}
+	if got := pool.WorkerCount(); got != 1 {
+		t.Fatalf("WorkerCount = %d, want 1", got)
+	}
+}
+
+func TestResizeStoppedPool(t *testing.T) {
+	plat, err := sgx.NewPlatform(sgx.Config{UsablePRMBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(plat, 2, 64)
+	if err := pool.Resize(4); err != ErrStopped {
+		t.Fatalf("Resize on an idle pool: err = %v, want ErrStopped", err)
+	}
+	pool.Start()
+	pool.Stop()
+	if err := pool.Resize(4); err != ErrStopped {
+		t.Fatalf("Resize after Stop: err = %v, want ErrStopped", err)
+	}
+	// A restarted pool resizes again.
+	pool.Start()
+	defer pool.Stop()
+	if err := pool.Resize(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.WorkerCount(); got != 4 {
+		t.Fatalf("WorkerCount after restart+resize = %d", got)
+	}
+}
+
+// Stress: concurrent submitters on all three paths while the main
+// goroutine resizes up and down. Every accepted call must execute
+// exactly once; run under -race this also exercises the snapshot
+// publication.
+func TestResizeConcurrentSubmitters(t *testing.T) {
+	plat, pool, _ := newResizeEnv(t, 2)
+	defer pool.Stop()
+
+	encl, err := plat.NewEnclave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const submitters = 4
+	const perSubmitter = 300
+	var ran, accepted atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			th := encl.NewThread()
+			th.Enter()
+			fn := func(h *sgx.HostCtx) {
+				h.Syscall(nil) // charged work, so SettledWorkCycles advances
+				ran.Add(1)
+			}
+			for n := 0; n < perSubmitter; n++ {
+				switch n % 3 {
+				case 0:
+					if err := pool.Call(th, fn); err == nil {
+						accepted.Add(1)
+					}
+				case 1:
+					if f, err := pool.CallAsync(th, fn); err == nil {
+						accepted.Add(1)
+						f.Wait(th)
+					}
+				case 2:
+					if err := pool.CallBatch(th, []func(*sgx.HostCtx){fn, fn}); err == nil {
+						accepted.Add(2)
+					}
+				}
+			}
+		}()
+	}
+	sizes := []int{1, 6, 3, 8, 1, 4, 2, 7, 1, 5}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			if err := pool.Resize(sizes[i%len(sizes)]); err != nil {
+				t.Error(err)
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+	if ran.Load() != accepted.Load() {
+		t.Fatalf("accepted %d calls but ran %d", accepted.Load(), ran.Load())
+	}
+	if st := pool.Stats(); st.SettledWorkCycles == 0 {
+		t.Fatal("SettledWorkCycles never advanced")
+	}
+}

@@ -32,9 +32,41 @@ type optionFunc func(*Config)
 func (f optionFunc) applyOption(c *Config) { f(c) }
 
 // WithRPCWorkers sizes the untrusted RPC worker pool (and with it the
-// number of ring shards).
+// number of ring shards) as a fixed pool: autotuning stays disabled and
+// the pool never changes size. Mutually exclusive with WithWorkerBounds
+// and WithAutoTune — combining them makes NewRuntime fail with
+// ErrConflictingOptions, in either order.
 func WithRPCWorkers(n int) Option {
-	return optionFunc(func(c *Config) { c.RPCWorkers = n })
+	return optionFunc(func(c *Config) {
+		c.RPCWorkers = n
+		c.AutoTune = false
+		c.fixedWorkers = true
+	})
+}
+
+// WithWorkerBounds enables the self-tuning controller with the default
+// policy and the given worker-pool bounds: the pool starts at min and
+// the controller grows and shrinks it inside [min, max] as the offered
+// load shifts. Mutually exclusive with WithRPCWorkers.
+func WithWorkerBounds(min, max int) Option {
+	return optionFunc(func(c *Config) {
+		c.AutoTune = true
+		c.Tune.MinWorkers = min
+		c.Tune.MaxWorkers = max
+		c.tuneRequested = true
+	})
+}
+
+// WithAutoTune enables the self-tuning controller with an explicit
+// policy (zero fields take the tune defaults; the zero policy is
+// exactly WithWorkerBounds(1, 8)). Mutually exclusive with
+// WithRPCWorkers.
+func WithAutoTune(p TunePolicy) Option {
+	return optionFunc(func(c *Config) {
+		c.AutoTune = true
+		c.Tune = p
+		c.tuneRequested = true
+	})
 }
 
 // WithCATWays reserves n LLC ways for the RPC workers via cache

@@ -1,0 +1,40 @@
+package eleos
+
+// RuntimeStats is the unified observability tree: one call snapshots
+// every layer of the runtime. It replaces stitching together
+// Pool().Stats(), IOEngine().Stats() and per-enclave Stats() calls —
+// those accessors remain as thin wrappers, but new code should read
+// this tree.
+type RuntimeStats struct {
+	// RPC is the exit-less worker pool: call counts per submission
+	// path, queue depths, backoff activity, residual wait cycles, and
+	// the live worker count with its resize history.
+	RPC RPCStats
+	// IO is the exit-less I/O engine: doorbells, chains, linked ops,
+	// reap-stall cycles and live mode switches.
+	IO IOStats
+	// Heaps carries the SUVM counters of every live enclave, in
+	// creation order (enclaves removed by Destroy drop out).
+	Heaps []HeapStats
+	// Tune is the self-tuning controller. Enabled is false (and the
+	// rest zero) when the runtime was built without autotuning.
+	Tune TuneStats
+}
+
+// Stats snapshots the whole runtime. The layers are read one after the
+// other without a global lock, so the tree is per-layer consistent (each
+// subsystem snapshot is itself coherent) rather than a frozen instant
+// across layers — the same contract the individual accessors always had.
+func (r *Runtime) Stats() RuntimeStats {
+	st := RuntimeStats{RPC: r.pool.Stats(), IO: r.io.Stats()}
+	r.mu.Lock()
+	encls := append([]*Enclave(nil), r.enclaves...)
+	r.mu.Unlock()
+	for _, e := range encls {
+		st.Heaps = append(st.Heaps, e.heap.Stats())
+	}
+	if r.tuner != nil {
+		st.Tune = r.tuner.Stats()
+	}
+	return st
+}
