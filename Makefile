@@ -7,8 +7,9 @@
 #                  analyzers (trust boundary, determinism, lock order)
 #                  plus staticcheck when it is installed
 #   make bench   — regenerate the exit-less I/O microbenchmark artifacts
-#                  (BENCH_rpc_async.json, BENCH_io_engine.json and
-#                  BENCH_selftune.json in the repo root)
+#                  (BENCH_rpc_async.json, BENCH_io_engine.json,
+#                  BENCH_selftune.json and BENCH_consolidation.json in
+#                  the repo root)
 #   make test    — plain test run, no race detector
 
 GO ?= go
@@ -58,4 +59,4 @@ staticcheck:
 	fi
 
 bench:
-	$(GO) run ./cmd/eleos-bench -quick -run rpc-async,io-engine,selftune -json .
+	$(GO) run ./cmd/eleos-bench -quick -run rpc-async,io-engine,selftune,consolidation -json .

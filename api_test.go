@@ -135,7 +135,7 @@ func TestCtxGoAndBatchAreExitless(t *testing.T) {
 		t.Fatalf("async/batch calls caused %d enclave exits", exits1-exits0)
 	}
 
-	st := rt.Pool().Stats()
+	st := rt.Stats().RPC
 	if st.AsyncCalls != 1 || st.Batches != 1 || st.BatchedCalls != 4 {
 		t.Fatalf("pool counters %+v", st)
 	}

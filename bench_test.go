@@ -6,7 +6,11 @@
 // performance is virtual time, deterministic across machines.
 //
 //	go test -bench=. -benchtime=1x
-package eleos
+//
+// This lives in the external test package: internal/bench imports the
+// public eleos API (the consolidation experiment drives Services), so
+// an in-package test file importing bench would be an import cycle.
+package eleos_test
 
 import (
 	"testing"

@@ -1,9 +1,11 @@
 // Command eleoslint runs the simulator's custom static analyzers over
 // the module: trustboundary (enclave code reaches host memory only
 // through the sealing/spointer facades), simdeterminism (cycle-charged
-// packages stay a pure function of config and seeds) and lockorder
-// (//eleos:lockorder mutex ranks are acquired in increasing order).
-// See internal/lint and the "Static invariants" section of DESIGN.md.
+// packages stay a pure function of config and seeds), lockorder
+// (//eleos:lockorder mutex ranks are acquired in increasing order) and
+// servicedomain (//eleos:service code crosses service boundaries only
+// through CrossCall). See internal/lint and the "Static invariants"
+// section of DESIGN.md.
 //
 // Usage:
 //
@@ -27,6 +29,7 @@ import (
 	"eleos/internal/lint/analysis"
 	"eleos/internal/lint/load"
 	"eleos/internal/lint/lockorder"
+	"eleos/internal/lint/servicedomain"
 	"eleos/internal/lint/simdeterminism"
 	"eleos/internal/lint/trustboundary"
 )
@@ -35,6 +38,7 @@ var analyzers = []*analysis.Analyzer{
 	trustboundary.Analyzer,
 	simdeterminism.Analyzer,
 	lockorder.Analyzer,
+	servicedomain.Analyzer,
 }
 
 func main() {

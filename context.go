@@ -6,6 +6,7 @@ import (
 	"eleos/internal/exitio"
 	"eleos/internal/rpc"
 	"eleos/internal/sgx"
+	"eleos/internal/suvm"
 )
 
 // Ctx is an enclave execution context: one simulated hardware thread,
@@ -16,6 +17,10 @@ type Ctx struct {
 	e  *Enclave
 	th *sgx.Thread
 	io *IOQueue
+	// svc binds the context to a carved service (Service.NewContext and
+	// CrossCall callees): allocation routes to the service's heap domain
+	// and I/O to its counter group. Nil for plain enclave contexts.
+	svc *Service
 }
 
 // NewContext creates and enters a fresh hardware thread.
@@ -40,9 +45,21 @@ func (c *Ctx) Elapsed() time.Duration {
 	return time.Duration(c.th.T.Seconds() * float64(time.Second))
 }
 
-// Malloc allocates SUVM memory and returns a context-bound pointer.
+// allocator returns where this context's allocations come from: its
+// service's heap domain for service-bound contexts, the enclave's heap
+// otherwise.
+func (c *Ctx) allocator() suvm.Allocator {
+	if c.svc != nil {
+		return c.svc.dom
+	}
+	return c.e.heap
+}
+
+// Malloc allocates SUVM memory and returns a context-bound pointer. On
+// a service-bound context the allocation comes from — and is paged by —
+// the service's own heap domain.
 func (c *Ctx) Malloc(n uint64) (*Ptr, error) {
-	p, err := c.e.heap.Malloc(n)
+	p, err := c.allocator().Malloc(n)
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +68,7 @@ func (c *Ctx) Malloc(n uint64) (*Ptr, error) {
 
 // MallocDirect allocates SUVM memory in sub-page direct-access mode.
 func (c *Ctx) MallocDirect(n uint64) (*Ptr, error) {
-	p, err := c.e.heap.MallocDirect(n)
+	p, err := c.allocator().MallocDirect(n)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +143,11 @@ func (c *Ctx) OCall(fn func(*HostCtx)) {
 //	cqes, _ := q.SubmitAndWait()
 func (c *Ctx) IO() *IOQueue {
 	if c.io == nil {
-		c.io = &IOQueue{q: c.e.rt.io.NewQueue(), c: c}
+		q := c.e.rt.io.NewQueue()
+		if c.svc != nil {
+			q = c.e.rt.io.NewGroupQueue(c.svc.grp)
+		}
+		c.io = &IOQueue{q: q, c: c}
 	}
 	return c.io
 }
@@ -287,5 +308,8 @@ func (p *Ptr) Seek(off uint64) error { return p.p.Seek(p.c.th, off) }
 // Unlink drops the cached translation and its pin.
 func (p *Ptr) Unlink() { p.p.Unlink(p.c.th) }
 
-// Free releases the allocation.
-func (p *Ptr) Free() error { return p.c.e.heap.Free(p.c.th, p.p) }
+// Free releases the allocation through the context's own allocator, so
+// a service-bound context cannot free another service's (or the enclave
+// root's) memory: such a free fails with ErrCrossDomain and leaves the
+// allocation untouched.
+func (p *Ptr) Free() error { return p.c.allocator().Free(p.c.th, p.p) }

@@ -30,6 +30,7 @@ package eleos
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eleos/internal/cycles"
@@ -62,6 +63,12 @@ type (
 	HeapConfig = suvm.Config
 	// HeapStats is a snapshot of SUVM event counters.
 	HeapStats = suvm.StatsSnapshot
+	// HeapDomain is a named per-service slice of a heap's EPC++ with
+	// its own frame pool, evictor and counters (Service.Domain).
+	HeapDomain = suvm.Domain
+	// DomainStats is one domain's named counter snapshot inside
+	// HeapStats.Domains.
+	DomainStats = suvm.DomainStatsSnapshot
 	// Segment is inter-enclave shared secure memory (ownership moves
 	// between enclaves by Detach/Attach, without re-encrypting data).
 	Segment = suvm.Segment
@@ -79,6 +86,10 @@ type (
 	// IOStats is a snapshot of engine activity (doorbells, chains,
 	// linked ops, reap-stall cycles).
 	IOStats = exitio.Stats
+	// IOGroup is a per-service counter group over the shared I/O
+	// engine: queues opened through Service contexts attribute their
+	// doorbells, chains and reap stalls to it.
+	IOGroup = exitio.Group
 	// IOOp is one typed exit-less I/O op descriptor.
 	IOOp = exitio.Op
 	// CQE is one typed I/O completion.
@@ -289,12 +300,21 @@ type EnclaveConfig struct {
 	ManualSwapper bool
 }
 
-// Enclave is a simulated enclave with an attached SUVM heap.
+// Enclave is a simulated enclave with an attached SUVM heap. It hosts
+// one implicit root tenant (NewContext, Ctx.Malloc against the whole
+// heap) and, optionally, N isolated carved services (NewService) that
+// share its EPC++ and the runtime's single I/O engine.
 type Enclave struct {
 	rt      *Runtime
 	encl    *sgx.Enclave
 	heap    *suvm.Heap
 	swapper *suvm.Swapper
+
+	// services is the carved-service registry, guarded by rt.mu like the
+	// enclave registry itself.
+	services []*Service
+
+	destroyed atomic.Bool
 }
 
 // NewEnclave creates an enclave and its SUVM heap. The heap's frame
@@ -340,8 +360,14 @@ func (r *Runtime) NewEnclave(cfg EnclaveConfig, opts ...EnclaveOption) (*Enclave
 	return e, nil
 }
 
-// Destroy stops the swapper and tears the enclave down.
+// Destroy stops the swapper, waits for in-flight SUVM faults to drain,
+// and tears the enclave down (all carved services with it). Idempotent
+// and safe to race with itself: exactly one caller performs the
+// teardown, later and concurrent calls return immediately.
 func (e *Enclave) Destroy() {
+	if !e.destroyed.CompareAndSwap(false, true) {
+		return
+	}
 	e.rt.mu.Lock()
 	for i, other := range e.rt.enclaves {
 		if other == e {
@@ -354,6 +380,9 @@ func (e *Enclave) Destroy() {
 		e.swapper.Stop()
 		e.swapper = nil
 	}
+	// Let faults that already entered the pipeline (any service's or the
+	// root's) finish against live EPC++ before the pages are torn down.
+	e.heap.Quiesce()
 	e.encl.Destroy()
 }
 

@@ -57,7 +57,7 @@ func TestPtrRoundTripBeyondEPC(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatal("facade readback mismatch")
 	}
-	st := encl.Stats()
+	st := rt.Stats().Heaps[0]
 	if st.MajorFaults == 0 {
 		t.Fatal("expected SUVM paging on an 8x working set")
 	}
@@ -140,7 +140,7 @@ func TestDirectAllocation(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatal("direct readback mismatch")
 	}
-	if st := encl.Stats(); st.DirectWrites == 0 || st.DirectReads == 0 {
+	if st := rt.Stats().Heaps[0]; st.DirectWrites == 0 || st.DirectReads == 0 {
 		t.Fatalf("direct counters: %+v", st)
 	}
 }

@@ -41,4 +41,15 @@ var (
 	ErrNotDirect   = suvm.ErrNotDirect
 	ErrDoubleFree  = suvm.ErrDoubleFree
 	ErrBackingFull = suvm.ErrBackingFull
+	// ErrCrossDomain marks a free that crossed a service-domain
+	// boundary: the allocation is owned by a different service (or by
+	// the enclave root) than the context that tried to free it.
+	ErrCrossDomain = suvm.ErrCrossDomain
 )
+
+// ErrCrossEnclave marks a CrossCall whose target service lives in a
+// different enclave: the intra-enclave fast path cannot cross enclave
+// boundaries — use exit-less RPC (Ctx.Exitless / Ctx.IO) instead.
+// Match with errors.Is.
+var ErrCrossEnclave = errors.New(
+	"eleos: CrossCall target is in a different enclave (use exit-less RPC for cross-enclave calls)")

@@ -79,7 +79,9 @@ func main() {
 		func(h *eleos.HostCtx) { h.Syscall(nil) },
 	)
 
-	st := encl.Stats()
+	// One snapshot of the whole runtime: RPC pool, I/O engine, and every
+	// enclave heap (and, with NewService, per-service rollups).
+	st := rt.Stats().Heaps[0]
 	exits1, _, _, _, _ := encl.Raw().Stats().Snapshot()
 	fmt.Printf("SUVM: %d software page faults, %d evictions (%d write-backs, %d clean drops)\n",
 		st.MajorFaults, st.Evictions, st.WriteBacks, st.CleanDrops)

@@ -88,6 +88,30 @@ func ParseMode(s string) (Mode, error) {
 // pool.
 func (m Mode) NeedsPool() bool { return m == ModeRPCSync || m == ModeRPCAsync }
 
+// counters is one set of engine activity counters — atomics only, no
+// locks. The Engine embeds one for its aggregate view; a Group carries
+// another so co-resident services multiplexed on one engine keep
+// per-service doorbell accounting.
+type counters struct {
+	doorbells    atomic.Uint64
+	chains       atomic.Uint64
+	ops          atomic.Uint64
+	linked       atomic.Uint64
+	reapStall    atomic.Uint64
+	modeSwitches atomic.Uint64
+}
+
+func (c *counters) stats() Stats {
+	return Stats{
+		Doorbells:       c.doorbells.Load(),
+		Chains:          c.chains.Load(),
+		Ops:             c.ops.Load(),
+		Linked:          c.linked.Load(),
+		ReapStallCycles: c.reapStall.Load(),
+		ModeSwitches:    c.modeSwitches.Load(),
+	}
+}
+
 // Engine is the shared half of the I/O layer: the dispatch mode, the
 // worker pool for the RPC modes, and aggregate counters. One Engine is
 // typically shared by all serving threads of a process (each with its
@@ -97,12 +121,7 @@ type Engine struct {
 	mode Mode
 	pool *rpc.Pool
 
-	doorbells    atomic.Uint64
-	chains       atomic.Uint64
-	ops          atomic.Uint64
-	linked       atomic.Uint64
-	reapStall    atomic.Uint64
-	modeSwitches atomic.Uint64
+	counters
 }
 
 // NewEngine builds an engine. pool is required for the RPC modes and
@@ -129,6 +148,29 @@ func (e *Engine) NewQueue() *Queue {
 	return &Queue{eng: e, mode: e.mode, wake: make(chan struct{}, 1)}
 }
 
+// Group is one tenant's slice of engine activity: queues opened through
+// NewGroupQueue mirror their counter updates into the group, so N
+// services multiplexed on one engine (one doorbell path, one worker
+// pool) still report per-service doorbells, chains and reap stalls.
+// The mirroring is host-side atomics only — it costs no virtual cycles.
+type Group struct {
+	counters
+}
+
+// NewGroup creates an empty per-tenant counter group for this engine.
+func (e *Engine) NewGroup() *Group { return &Group{} }
+
+// Stats returns a snapshot of the group's share of engine activity.
+func (g *Group) Stats() Stats { return g.stats() }
+
+// NewGroupQueue creates a queue like NewQueue that additionally
+// attributes its activity to g (nil behaves exactly like NewQueue).
+func (e *Engine) NewGroupQueue(g *Group) *Queue {
+	q := e.NewQueue()
+	q.grp = g
+	return q
+}
+
 // Stats is a snapshot of engine activity.
 type Stats struct {
 	// Doorbells counts boundary crossings: one per submitted chain,
@@ -152,13 +194,4 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the counters.
-func (e *Engine) Stats() Stats {
-	return Stats{
-		Doorbells:       e.doorbells.Load(),
-		Chains:          e.chains.Load(),
-		Ops:             e.ops.Load(),
-		Linked:          e.linked.Load(),
-		ReapStallCycles: e.reapStall.Load(),
-		ModeSwitches:    e.modeSwitches.Load(),
-	}
-}
+func (e *Engine) Stats() Stats { return e.stats() }

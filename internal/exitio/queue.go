@@ -58,6 +58,10 @@ type chain struct {
 // no mutex, and must not be shared between serving threads.
 type Queue struct {
 	eng *Engine
+	// grp, when non-nil, receives a mirror of every counter update the
+	// queue makes on the engine — the per-service attribution for queues
+	// opened with NewGroupQueue.
+	grp *Group
 	// mode is the queue's current dispatch mode. It starts as the
 	// engine's default and may be changed between chains with SetMode —
 	// the live engine-mode flip the self-tuning controller drives.
@@ -109,6 +113,9 @@ func (q *Queue) SetMode(th *sgx.Thread, m Mode) error {
 	}
 	q.mode = m
 	q.eng.modeSwitches.Add(1)
+	if q.grp != nil {
+		q.grp.modeSwitches.Add(1)
+	}
 	return nil
 }
 
@@ -194,6 +201,12 @@ func (q *Queue) Submit(th *sgx.Thread) error {
 		q.eng.chains.Add(1)
 		q.eng.ops.Add(uint64(len(ops)))
 		q.eng.linked.Add(uint64(len(ops) - 1))
+		if q.grp != nil {
+			q.grp.doorbells.Add(1)
+			q.grp.chains.Add(1)
+			q.grp.ops.Add(uint64(len(ops)))
+			q.grp.linked.Add(uint64(len(ops) - 1))
+		}
 		switch q.mode {
 		case ModeDirect:
 			execChain(th.HostContext(), c.ops, c.res)
@@ -249,7 +262,11 @@ func (q *Queue) retireHead(th *sgx.Thread) {
 	q.pending = q.pending[1:]
 	before := th.T.Cycles()
 	c.fut.Wait(th)
-	q.eng.reapStall.Add(th.T.Cycles() - before)
+	stall := th.T.Cycles() - before
+	q.eng.reapStall.Add(stall)
+	if q.grp != nil {
+		q.grp.reapStall.Add(stall)
+	}
 	q.complete(c)
 }
 

@@ -10,6 +10,12 @@
 // a deterministic per-identity texture plus per-capture noise. What the
 // evaluation measures — one 232 KiB value read from a 450 MB table per
 // request — is a property of the access pattern, not of the pixels.
+//
+// As a service of a multi-service enclave the package is one isolation
+// unit: other services reach it only through CrossCall (enforced by
+// eleoslint's servicedomain pass).
+//
+//eleos:service faceverify
 package faceverify
 
 import (

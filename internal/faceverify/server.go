@@ -66,8 +66,10 @@ type Config struct {
 	Identities uint64
 	// Placement locates the descriptor table.
 	Placement Placement
-	// Heap is required for PlaceSUVM.
-	Heap *suvm.Heap
+	// Heap is required for PlaceSUVM: a whole *suvm.Heap, or one
+	// service's *suvm.Domain when the server is a co-resident tenant of
+	// a multi-service enclave.
+	Heap suvm.Allocator
 	// Synthetic enrolls fabricated descriptors (benchmark mode: loads
 	// in milliseconds, same memory behaviour); when false, enrollment
 	// runs the real LBP pipeline over rendered images (test mode).
@@ -198,9 +200,17 @@ func NewServer(store *Store, sys SyscallMode, pool *rpc.Pool) (*Server, error) {
 // NewServerIO wraps the store over an existing engine, so servers on
 // several threads share one engine and its counters.
 func NewServerIO(store *Store, eng *exitio.Engine) *Server {
+	return NewServerIOGroup(store, eng, nil)
+}
+
+// NewServerIOGroup is NewServerIO with the server's queue attributed to
+// a counter group — how a store running as one service of a
+// multi-service enclave reports its doorbells per service (nil grp
+// behaves like NewServerIO).
+func NewServerIOGroup(store *Store, eng *exitio.Engine, grp *exitio.Group) *Server {
 	return &Server{
 		store: store,
-		io:    eng.NewQueue(),
+		io:    eng.NewGroupQueue(grp),
 		sock:  netsim.NewSocket(store.plat, ImageBytes+4096),
 		desc:  make([]byte, DescriptorBytes),
 	}

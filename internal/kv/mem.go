@@ -81,8 +81,9 @@ type SUVMRegion struct {
 	p *suvm.SPtr
 }
 
-// NewSUVMRegion allocates size bytes on the heap and wraps them.
-func NewSUVMRegion(h *suvm.Heap, size uint64) (*SUVMRegion, error) {
+// NewSUVMRegion allocates size bytes from the allocator — a whole Heap
+// or one service's Domain — and wraps them.
+func NewSUVMRegion(h suvm.Allocator, size uint64) (*SUVMRegion, error) {
 	p, err := h.Malloc(size)
 	if err != nil {
 		return nil, err

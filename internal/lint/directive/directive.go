@@ -10,6 +10,9 @@
 //	//	                     rand and unsorted map ranges are forbidden
 //	//eleos:lockorder N    — mutex participates in the global lock order
 //	//	                     with rank N (lower ranks are acquired first)
+//	//eleos:service NAME   — code belongs to the named service of a
+//	//	                     multi-service enclave; reaching another
+//	//	                     service's code or data requires CrossCall
 //	//eleos:allow CHECK -- reason — suppress CHECK on the next line
 //
 // Trust-domain directives appear in package doc comments (setting the
@@ -65,6 +68,8 @@ type Set struct {
 	Deterministic bool
 	LockRank      int
 	HasLockRank   bool
+	// Service is the //eleos:service name, "" when unannotated.
+	Service string
 }
 
 // Merge folds other into s; other's domain wins when both are set.
@@ -76,6 +81,9 @@ func (s *Set) Merge(other Set) {
 	s.Deterministic = s.Deterministic || other.Deterministic
 	if other.HasLockRank {
 		s.LockRank, s.HasLockRank = other.LockRank, true
+	}
+	if other.Service != "" {
+		s.Service = other.Service
 	}
 }
 
@@ -106,6 +114,10 @@ func Parse(groups ...*ast.CommentGroup) Set {
 			case "lockorder":
 				if n, err := strconv.Atoi(strings.Fields(arg)[0]); err == nil {
 					s.LockRank, s.HasLockRank = n, true
+				}
+			case "service":
+				if f := strings.Fields(arg); len(f) > 0 {
+					s.Service = f[0]
 				}
 			}
 		}

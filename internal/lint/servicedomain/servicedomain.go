@@ -1,0 +1,238 @@
+// Package servicedomain enforces intra-enclave service isolation
+// statically — the lint half of the multi-service enclave design
+// (DESIGN.md "Service domains").
+//
+// When several services consolidate into one enclave, the runtime
+// isolates their memory at the heap-domain layer (a service's faults
+// and frees stay inside its own EPC++ carve), but Go code in one
+// service could still simply call into another service's package: same
+// process, same address space. This analyzer closes that hole at review
+// time. Packages (or individual functions) declare their tenancy with
+// an //eleos:service NAME doc-comment directive, and the analyzer flags
+// any function of service A that
+//
+//   - calls a function belonging to service B, or
+//   - reads or writes a package-level variable belonging to service B,
+//
+// unless the offending code sits inside a function-literal argument of
+// a CrossCall invocation — the runtime's sanctioned intra-enclave fast
+// path, which binds the callee to the target service's heap domain and
+// charges the crossing. Code without a service annotation (shared
+// libraries, the runtime itself) is reachable from every service and
+// never flagged.
+//
+// The check is static and syntactic where it must be: calls through
+// interface methods and function values are not resolved (the same
+// documented limit as the trust-boundary pass), and CrossCall is
+// recognized by callee name so the analyzer works on testdata stand-ins
+// as well as the real eleos.Ctx method. Suppress deliberate exceptions
+// with "//eleos:allow crossservice -- reason".
+package servicedomain
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+
+	"eleos/internal/lint/analysis"
+	"eleos/internal/lint/directive"
+	"eleos/internal/lint/load"
+)
+
+// Analyzer is the servicedomain analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "servicedomain",
+	Doc:  "enforce //eleos:service isolation: cross-service reach only via CrossCall",
+	Run:  run,
+}
+
+// facts is the program-wide service assignment shared by every
+// per-package pass.
+type facts struct {
+	// fnService maps each declared function to its service ("" when
+	// unannotated): the package directive, overridable per function.
+	fnService map[*types.Func]string
+	// pkgService maps each type-checked package to its package-level
+	// service directive.
+	pkgService map[*types.Package]string
+}
+
+var (
+	factsMu    sync.Mutex
+	factsCache = map[*load.Program]*facts{}
+)
+
+func run(pass *analysis.Pass) error {
+	f := factsFor(pass.Prog)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			svc := f.fnService[obj]
+			if svc == "" {
+				continue // unannotated code is shared; nothing to isolate
+			}
+			checkFunc(pass, f, svc, obj, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFunc flags cross-service reach out of one service-owned function
+// body, skipping anything inside a CrossCall function-literal argument.
+func checkFunc(pass *analysis.Pass, f *facts, svc string, fn *types.Func, body *ast.BlockStmt) {
+	sanctioned := crossCallRanges(body)
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			callee := analysis.StaticCallee(info, n)
+			if callee == nil {
+				return true
+			}
+			other := f.fnService[callee]
+			if other == "" || other == svc || within(sanctioned, n.Lparen) {
+				return true
+			}
+			pass.Report(n.Lparen, "crossservice",
+				"service %q function %s calls service %q function %s; cross-service calls go through CrossCall",
+				svc, shortName(fn), other, shortName(callee))
+		case *ast.Ident:
+			obj, ok := info.Uses[n].(*types.Var)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			// Only package-level variables carry a service: locals,
+			// params and struct fields belong to whoever holds them.
+			if obj.Parent() != obj.Pkg().Scope() {
+				return true
+			}
+			other := f.pkgService[obj.Pkg()]
+			if other == "" || other == svc || within(sanctioned, n.Pos()) {
+				return true
+			}
+			pass.Report(n.Pos(), "crossservice",
+				"service %q function %s touches service %q state %s.%s; cross-service access goes through CrossCall",
+				svc, shortName(fn), other, obj.Pkg().Name(), obj.Name())
+		}
+		return true
+	})
+}
+
+// posRange is one [Pos, End) source span.
+type posRange struct{ lo, hi int }
+
+// crossCallRanges collects the spans of function-literal arguments of
+// CrossCall invocations inside body — the sanctioned crossing windows.
+// CrossCall is matched by callee name (method or plain function).
+func crossCallRanges(body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isCrossCall(call.Fun) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				out = append(out, posRange{int(lit.Pos()), int(lit.End())})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isCrossCall(fun ast.Expr) bool {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "CrossCall"
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "CrossCall"
+	}
+	return false
+}
+
+func within(ranges []posRange, pos token.Pos) bool {
+	p := int(pos)
+	for _, r := range ranges {
+		if r.lo <= p && p < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+func factsFor(prog *load.Program) *facts {
+	factsMu.Lock()
+	defer factsMu.Unlock()
+	if f, ok := factsCache[prog]; ok {
+		return f
+	}
+	f := build(prog)
+	factsCache[prog] = f
+	return f
+}
+
+// build assigns every declared function and every package its service
+// for the whole program.
+func build(prog *load.Program) *facts {
+	f := &facts{
+		fnService:  map[*types.Func]string{},
+		pkgService: map[*types.Package]string{},
+	}
+	for _, pkg := range prog.Packages {
+		pkgSet := directive.ForPackage(pkg.Files)
+		if pkg.Types != nil {
+			f.pkgService[pkg.Types] = pkgSet.Service
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				set := pkgSet
+				set.Merge(directive.ForFunc(fd))
+				f.fnService[obj] = set.Service
+			}
+		}
+	}
+	return f
+}
+
+// shortName renders pkg.Name or pkg.(*Recv).Name for messages.
+func shortName(fn *types.Func) string {
+	var b strings.Builder
+	if fn.Pkg() != nil {
+		b.WriteString(fn.Pkg().Name())
+		b.WriteString(".")
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := false
+		if p, ok := t.(*types.Pointer); ok {
+			t, ptr = p.Elem(), true
+		}
+		if named, ok := t.(*types.Named); ok {
+			if ptr {
+				b.WriteString("(*" + named.Obj().Name() + ").")
+			} else {
+				b.WriteString(named.Obj().Name() + ".")
+			}
+		}
+	}
+	b.WriteString(fn.Name())
+	return b.String()
+}

@@ -1,0 +1,13 @@
+package servicedomain_test
+
+import (
+	"testing"
+
+	"eleos/internal/lint/analysistest"
+	"eleos/internal/lint/servicedomain"
+)
+
+func TestServiceDomain(t *testing.T) {
+	analysistest.Run(t, "testdata", servicedomain.Analyzer,
+		"svca", "svcb", "bridge")
+}

@@ -1,0 +1,10 @@
+// Package bridge is testdata: un-serviced shared runtime code. It
+// stands in for the eleos runtime — its CrossCall is matched by name,
+// exactly like the real Ctx.CrossCall method.
+package bridge
+
+// CrossCall is the sanctioned cross-service fast path.
+func CrossCall(fn func()) { fn() }
+
+// Helper is neutral shared code callable from any service.
+func Helper() {}

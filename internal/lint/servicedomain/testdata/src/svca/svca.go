@@ -1,0 +1,14 @@
+// Package svca is testdata: service A of a multi-service enclave.
+//
+//eleos:service a
+package svca
+
+// Counter is service A state: other services may not touch it outside
+// CrossCall.
+var Counter int
+
+// Work is a service A entry point.
+func Work() { Counter++ }
+
+// Peek reads service A state.
+func Peek() int { return Counter }

@@ -1,0 +1,51 @@
+// Package svcb is testdata: service B, a co-resident tenant of
+// service A's enclave.
+//
+//eleos:service b
+package svcb
+
+import (
+	"bridge"
+	"svca"
+)
+
+// Bad calls straight into service A: flagged.
+func Bad() {
+	svca.Work() // want "function svcb.Bad calls service .a. function svca.Work"
+}
+
+// BadVar touches service A's package state directly: flagged.
+func BadVar() int {
+	return svca.Counter // want "function svcb.BadVar touches service .a. state svca.Counter"
+}
+
+// Good crosses through the sanctioned fast path: clean.
+func Good() {
+	bridge.CrossCall(func() {
+		svca.Work()
+		svca.Counter++
+	})
+}
+
+// Allowed documents a deliberate exception: clean.
+func Allowed() {
+	//eleos:allow crossservice -- testdata: deliberate suppressed crossing
+	svca.Work()
+}
+
+// Neutral calls un-serviced shared code: clean.
+func Neutral() { bridge.Helper() }
+
+// Local state and same-service calls are always clean.
+var own int
+
+func Internal() {
+	own++
+	Bad()
+}
+
+// Migrated carries a per-function override onto service A's side, so
+// its direct touch is same-service: clean.
+//
+//eleos:service a
+func Migrated() { svca.Work() }

@@ -52,10 +52,18 @@ func NewServer(store *Store, sys SyscallMode, pool *rpc.Pool) (*Server, error) {
 // NewServerIO wraps store over an existing engine, so several servers
 // (one per serving thread) share one engine and its counters.
 func NewServerIO(store *Store, eng *exitio.Engine) *Server {
+	return NewServerIOGroup(store, eng, nil)
+}
+
+// NewServerIOGroup is NewServerIO with the server's queue attributed to
+// a counter group — how a store running as one service of a
+// multi-service enclave reports its doorbells per service (nil grp
+// behaves like NewServerIO).
+func NewServerIOGroup(store *Store, eng *exitio.Engine, grp *exitio.Group) *Server {
 	return &Server{
 		store: store,
 		plat:  store.plat,
-		io:    eng.NewQueue(),
+		io:    eng.NewGroupQueue(grp),
 		sock:  netsim.NewSocket(store.plat, 1<<20),
 		buf:   make([]byte, 1<<20),
 	}

@@ -7,6 +7,12 @@
 // payload (key, value, and their sizes) lives behind SGX protection: in
 // the hardware-paged enclave heap for the Graphene-style baseline, or in
 // SUVM (page-cached or sub-page direct) for the Eleos configurations.
+//
+// As a service of a multi-service enclave the package is one isolation
+// unit: other services reach it only through CrossCall (enforced by
+// eleoslint's servicedomain pass).
+//
+//eleos:service mckv
 package mckv
 
 import (

@@ -51,8 +51,10 @@ type Config struct {
 	MaxItems uint64
 	// Placement locates item payloads.
 	Placement Placement
-	// Heap is required for the SUVM placements.
-	Heap *suvm.Heap
+	// Heap is required for the SUVM placements: a whole *suvm.Heap, or
+	// one service's *suvm.Domain when the store is a co-resident tenant
+	// of a multi-service enclave.
+	Heap suvm.Allocator
 }
 
 // metadata record layout (untrusted memory, in the clear — §5.1 lists

@@ -12,6 +12,7 @@
 //
 //eleos:trusted
 //eleos:deterministic
+//eleos:service pserver
 package pserver
 
 import (
@@ -69,14 +70,19 @@ type Config struct {
 	Placement Placement
 	// Syscall selects the recv/send mechanism.
 	Syscall SyscallMode
-	// Heap is required for PlaceSUVM.
-	Heap *suvm.Heap
+	// Heap is required for PlaceSUVM: a whole *suvm.Heap, or one
+	// service's *suvm.Domain when the server is a co-resident tenant of
+	// a multi-service enclave.
+	Heap suvm.Allocator
 	// Pool is required for the RPC modes (unless Engine is set).
 	Pool *rpc.Pool
 	// Engine, when non-nil, is a shared exit-less I/O engine whose
 	// dispatch mode overrides Syscall/Pool — the way several servers
 	// share one engine and its doorbell counters.
 	Engine *exitio.Engine
+	// Group, when non-nil, attributes the server's queue activity to a
+	// per-service counter group on the shared Engine.
+	Group *exitio.Group
 	// Encrypted selects whether request/response crypto costs are
 	// charged (the paper encrypts all traffic; on by default in the
 	// harness, off in some unit tests).
@@ -165,7 +171,7 @@ func New(plat *sgx.Platform, setup *sgx.Thread, cfg Config) (*Server, error) {
 		plat:    plat,
 		table:   table,
 		sock:    netsim.NewSocket(plat, 64<<10),
-		io:      eng.NewQueue(),
+		io:      eng.NewGroupQueue(cfg.Group),
 		entries: entries,
 		reqBuf:  make([]byte, 64<<10),
 	}

@@ -15,7 +15,7 @@ import (
 // resident in the page cache, the paper's consistency check; direct
 // allocations live in a dedicated backing region, so the check never
 // fires but is still paid for.
-func (h *Heap) directAccess(th *sgx.Thread, addr uint64, buf []byte, write bool) error {
+func (h *Heap) directAccess(th *sgx.Thread, addr uint64, buf []byte, write bool, d *Domain) error {
 	if addr < h.directBase {
 		return fmt.Errorf("%w: address %#x is in the page-cached region", ErrNotDirect, addr)
 	}
@@ -28,7 +28,7 @@ func (h *Heap) directAccess(th *sgx.Thread, addr uint64, buf []byte, write bool)
 		if n > len(buf) {
 			n = len(buf)
 		}
-		if err := h.directSub(th, bsPage, sub, subOff, buf[:n], write); err != nil {
+		if err := h.directSub(th, bsPage, sub, subOff, buf[:n], write, d); err != nil {
 			return err
 		}
 		addr += uint64(n)
@@ -40,7 +40,7 @@ func (h *Heap) directAccess(th *sgx.Thread, addr uint64, buf []byte, write bool)
 // directSub performs one sub-page read or write (read-modify-write for
 // partial writes, which the paper's prototype did not support and we
 // implement as an extension — see DESIGN.md).
-func (h *Heap) directSub(th *sgx.Thread, bsPage uint64, sub int, subOff uint64, buf []byte, write bool) error {
+func (h *Heap) directSub(th *sgx.Thread, bsPage uint64, sub int, subOff uint64, buf []byte, write bool, d *Domain) error {
 	// Consistency check: the page must not be resident in EPC++.
 	h.lockCost(th)
 	h.touchIPT(th, bsPage)
@@ -71,7 +71,7 @@ func (h *Heap) directSub(th *sgx.Thread, bsPage uint64, sub int, subOff uint64, 
 	}
 
 	if !write {
-		h.stats.directReads.Add(1)
+		h.domStats(d).directReads.Add(1)
 		if sm == nil || !sm.present {
 			clear(buf)
 			return nil
@@ -86,7 +86,7 @@ func (h *Heap) directSub(th *sgx.Thread, bsPage uint64, sub int, subOff uint64, 
 		return nil
 	}
 
-	h.stats.directWrites.Add(1)
+	h.domStats(d).directWrites.Add(1)
 	full := subOff == 0 && uint64(len(buf)) == h.subSize
 	var plain []byte
 	scratch := h.getScratch()

@@ -1,0 +1,152 @@
+package suvm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"eleos/internal/sgx"
+)
+
+// Domain carving and isolation invariants: ownership-tagged frees,
+// backing quotas, carve validation, and the resize exclusion.
+
+func TestDomainCarveAndRoundTrip(t *testing.T) {
+	e := newEnv(t, Config{PageCacheBytes: 128 << 10, BackingBytes: 64 << 20}) // 32 frames
+	d, err := e.h.NewDomain(e.th, DomainConfig{Name: "svc", EPCBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.EPCFrames() != 8 {
+		t.Fatalf("carved %d frames, want 8", d.EPCFrames())
+	}
+	// A working set 4x the carve pages entirely inside the domain.
+	p, err := d.Malloc(128 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 128<<10)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	if err := p.WriteAt(e.th, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := p.ReadAt(e.th, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("domain readback mismatch across evictions")
+	}
+	st := d.Stats()
+	if st.MajorFaults == 0 || st.Evictions == 0 {
+		t.Fatalf("domain paged through the shared pipeline without domain-local accounting: %+v", st)
+	}
+	// The heap aggregate rolls the domain up (totals stay meaningful),
+	// and itemizes it: all paging activity must be attributed to "svc",
+	// none left on the root.
+	hs := e.h.Stats()
+	if hs.MajorFaults != st.MajorFaults {
+		t.Fatalf("heap aggregate %d faults, domain %d — root took faults of its own", hs.MajorFaults, st.MajorFaults)
+	}
+	if len(hs.Domains) != 1 || hs.Domains[0].Name != "svc" || hs.Domains[0].MajorFaults != st.MajorFaults {
+		t.Fatalf("domain rollup missing or wrong: %+v", hs.Domains)
+	}
+	if err := d.Free(e.th, p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainCrossFreeRejected(t *testing.T) {
+	e := newEnv(t, Config{PageCacheBytes: 128 << 10, BackingBytes: 64 << 20})
+	a, err := e.h.NewDomain(e.th, DomainConfig{Name: "a", EPCBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.h.NewDomain(e.th, DomainConfig{Name: "b", EPCBytes: 32 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := a.Malloc(8 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(e.th, pa); !errors.Is(err, ErrCrossDomain) {
+		t.Fatalf("freeing a's allocation via b: got %v, want ErrCrossDomain", err)
+	}
+	if err := e.h.Free(e.th, pa); !errors.Is(err, ErrCrossDomain) {
+		t.Fatalf("freeing a's allocation via the root: got %v, want ErrCrossDomain", err)
+	}
+	proot, err := e.h.Malloc(8 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(e.th, proot); !errors.Is(err, ErrCrossDomain) {
+		t.Fatalf("freeing a root allocation via a: got %v, want ErrCrossDomain", err)
+	}
+	if err := a.Free(e.th, pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.h.Free(e.th, proot); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainBackingQuota(t *testing.T) {
+	e := newEnv(t, Config{PageCacheBytes: 128 << 10, BackingBytes: 64 << 20})
+	d, err := e.h.NewDomain(e.th, DomainConfig{
+		Name: "quota", EPCBytes: 32 << 10, BackingQuota: 64 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := d.Malloc(48 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Malloc(32 << 10); !errors.Is(err, ErrBackingFull) {
+		t.Fatalf("over-quota malloc: got %v, want ErrBackingFull", err)
+	}
+	// Freeing returns quota.
+	if err := d.Free(e.th, p1); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := d.Malloc(32 << 10)
+	if err != nil {
+		t.Fatalf("malloc after free should fit the quota again: %v", err)
+	}
+	if err := d.Free(e.th, p2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainCarveValidation(t *testing.T) {
+	e := newEnv(t, smallCfg()) // 16 frames
+	if _, err := e.h.NewDomain(e.th, DomainConfig{EPCBytes: 16 << 10}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nameless carve: got %v, want ErrBadConfig", err)
+	}
+	if _, err := e.h.NewDomain(e.th, DomainConfig{Name: "x"}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("zero-EPC carve: got %v, want ErrBadConfig", err)
+	}
+	// 16 frames total: carving 14 would leave the root only 2 (< 4).
+	if _, err := e.h.NewDomain(e.th, DomainConfig{Name: "x", EPCBytes: 56 << 10}); !errors.Is(err, sgx.ErrOutOfEPC) {
+		t.Fatalf("over-carve: got %v, want ErrOutOfEPC", err)
+	}
+	if _, err := e.h.NewDomain(e.th, DomainConfig{Name: "x", EPCBytes: 16 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.h.NewDomain(e.th, DomainConfig{Name: "x", EPCBytes: 16 << 10}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("duplicate name: got %v, want ErrBadConfig", err)
+	}
+}
+
+func TestResizeBlockedWhileDomainsCarved(t *testing.T) {
+	e := newEnv(t, Config{PageCacheBytes: 128 << 10, BackingBytes: 64 << 20})
+	if _, err := e.h.NewDomain(e.th, DomainConfig{Name: "svc", EPCBytes: 32 << 10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.h.ResizeTo(e.th, 64<<10); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("resize under carved domains: got %v, want ErrBadConfig", err)
+	}
+}

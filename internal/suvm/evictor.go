@@ -29,7 +29,9 @@ const freeShards = 8
 // deterministic — pinned by the swapper-interleaved golden fingerprint
 // — but against a pipeline-era baseline, not the pre-refactor seed.
 type framePool struct {
-	per    int // frames per shard (last shard may be short)
+	start int32 // first frame index homed to shard 0 (0 for the root pool)
+	per   int   // frames per shard (last shard may be short)
+
 	shards [freeShards]freeShard
 }
 
@@ -39,9 +41,14 @@ type freeShard struct {
 	frames []int32
 }
 
-func newFramePool(maxFrames int) *framePool {
-	p := &framePool{per: (maxFrames + freeShards - 1) / freeShards}
-	for i := maxFrames - 1; i >= 0; i-- {
+// newFramePool builds the free pool for the frame range
+// [start, start+count). The root pool covers [0, maxFrames); a carved
+// domain's pool covers its own contiguous slice of the heap's frames,
+// with the same descending-init drain-order guarantee relative to its
+// range start.
+func newFramePool(start, count int) *framePool {
+	p := &framePool{start: int32(start), per: (count + freeShards - 1) / freeShards}
+	for i := start + count - 1; i >= start; i-- {
 		s := &p.shards[p.home(int32(i))]
 		s.frames = append(s.frames, int32(i))
 	}
@@ -49,7 +56,7 @@ func newFramePool(maxFrames int) *framePool {
 }
 
 func (p *framePool) home(f int32) int {
-	h := int(f) / p.per
+	h := int(f-p.start) / p.per
 	if h >= freeShards {
 		h = freeShards - 1
 	}
@@ -126,14 +133,16 @@ func (p *framePool) filter(keep func(int32) bool) {
 	}
 }
 
-// evictor selects eviction victims. pick returns a candidate frame
-// with refcnt observed zero, or -1 when nothing is evictable; the
-// caller (evictFrame) re-verifies under the page's locks, so a stale
-// pick costs a retry, never correctness. Implementations are safe for
-// concurrent use and record scan-length stats on the heap.
+// evictor selects eviction victims within one domain's frame range
+// (d == nil scans the root's [0, activeFrames)). pick returns a
+// candidate frame with refcnt observed zero, or -1 when nothing is
+// evictable; the caller (evictFrame) re-verifies under the page's
+// locks, so a stale pick costs a retry, never correctness.
+// Implementations are safe for concurrent use and record scan-length
+// stats on the domain they scan for.
 type evictor interface {
 	policy() EvictionPolicy
-	pick(h *Heap) int32
+	pick(h *Heap, d *Domain) int32
 }
 
 func newEvictor(pol EvictionPolicy, seed uint64) evictor {
@@ -162,30 +171,30 @@ type clockEvictor struct {
 
 func (c *clockEvictor) policy() EvictionPolicy { return PolicyClock }
 
-func (c *clockEvictor) pick(h *Heap) int32 {
+func (c *clockEvictor) pick(h *Heap, d *Domain) int32 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	active := h.activeFrames
+	start, active := h.domainRange(d)
 	scanned := 0
-	defer func() { h.stats.noteScan(scanned) }()
+	defer func() { h.domStats(d).noteScan(scanned) }()
 	for i := 0; i < 2*active; i++ {
 		c.hand = (c.hand + 1) % active
 		scanned++
-		fm := &h.frames[c.hand]
+		fm := &h.frames[start+c.hand]
 		if !evictable(fm) {
 			continue
 		}
 		if fm.accessed.Swap(false) {
 			continue
 		}
-		return int32(c.hand)
+		return int32(start + c.hand)
 	}
 	// Second chance exhausted: take the first unpinned frame.
 	for i := 0; i < active; i++ {
 		c.hand = (c.hand + 1) % active
 		scanned++
-		if evictable(&h.frames[c.hand]) {
-			return int32(c.hand)
+		if evictable(&h.frames[start+c.hand]) {
+			return int32(start + c.hand)
 		}
 	}
 	return -1
@@ -200,17 +209,17 @@ type fifoEvictor struct {
 
 func (f *fifoEvictor) policy() EvictionPolicy { return PolicyFIFO }
 
-func (f *fifoEvictor) pick(h *Heap) int32 {
+func (f *fifoEvictor) pick(h *Heap, d *Domain) int32 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	active := h.activeFrames
+	start, active := h.domainRange(d)
 	scanned := 0
-	defer func() { h.stats.noteScan(scanned) }()
+	defer func() { h.domStats(d).noteScan(scanned) }()
 	for i := 0; i < active; i++ {
 		f.hand = (f.hand + 1) % active
 		scanned++
-		if evictable(&h.frames[f.hand]) {
-			return int32(f.hand)
+		if evictable(&h.frames[start+f.hand]) {
+			return int32(start + f.hand)
 		}
 	}
 	return -1
@@ -225,17 +234,17 @@ type randomEvictor struct {
 
 func (r *randomEvictor) policy() EvictionPolicy { return PolicyRandom }
 
-func (r *randomEvictor) pick(h *Heap) int32 {
+func (r *randomEvictor) pick(h *Heap, d *Domain) int32 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	active := h.activeFrames
+	start, active := h.domainRange(d)
 	scanned := 0
-	defer func() { h.stats.noteScan(scanned) }()
+	defer func() { h.domStats(d).noteScan(scanned) }()
 	for i := 0; i < 4*active; i++ {
 		r.rng ^= r.rng << 13
 		r.rng ^= r.rng >> 7
 		r.rng ^= r.rng << 17
-		f := int(r.rng % uint64(active))
+		f := start + int(r.rng%uint64(active))
 		scanned++
 		if evictable(&h.frames[f]) {
 			return int32(f)

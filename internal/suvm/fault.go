@@ -12,9 +12,11 @@ import (
 // count raised (pinning it against eviction), faulting the page in if it
 // is not resident. This is the unlinked-spointer path: resident hits are
 // the paper's minor faults, misses its major faults. The caller must
-// pair it with release. Fails with sgx.ErrOutOfEPC (wrapped) when every
-// frame is pinned by a linked spointer.
-func (h *Heap) acquire(th *sgx.Thread, bsPage uint64) (int32, error) {
+// pair it with release. d is the domain faulting on its own behalf (nil
+// = root): its frames supply the page-in and its counters record the
+// events. Fails with sgx.ErrOutOfEPC (wrapped) when every frame is
+// pinned by a linked spointer.
+func (h *Heap) acquire(th *sgx.Thread, bsPage uint64, d *Domain) (int32, error) {
 	h.lockCost(th)
 	h.touchIPT(th, bsPage)
 	sh := h.resident.shard(bsPage)
@@ -24,11 +26,11 @@ func (h *Heap) acquire(th *sgx.Thread, bsPage uint64) (int32, error) {
 		fm.refcnt.Add(1)
 		fm.accessed.Store(true)
 		sh.mu.Unlock()
-		h.stats.minorFaults.Add(1)
+		h.domStats(d).minorFaults.Add(1)
 		return f, nil
 	}
 	sh.mu.Unlock()
-	return h.majorFault(th, bsPage)
+	return h.majorFault(th, bsPage, d)
 }
 
 // release drops the pin taken by acquire, propagating the access's dirty
@@ -57,10 +59,10 @@ func (h *Heap) release(th *sgx.Thread, f int32, dirty bool) {
 // faulting threads under per-bucket locks, §4.1). The single lockCost
 // charged at entry models that per-bucket lock; the in-flight bookkeeping
 // rides under it.
-func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) (int32, error) {
+func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64, d *Domain) (int32, error) {
 	h.lockCost(th)
-	// Faults are readers of the resize epoch: ballooning, ResizeTo and
-	// segment attach/detach take it exclusively.
+	// Faults are readers of the resize epoch: ballooning, ResizeTo,
+	// domain carving and segment attach/detach take it exclusively.
 	h.epoch.RLock()
 	defer h.epoch.RUnlock()
 	for {
@@ -74,7 +76,7 @@ func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) (int32, error) {
 			fm.refcnt.Add(1)
 			fm.accessed.Store(true)
 			sh.mu.Unlock()
-			h.stats.minorFaults.Add(1)
+			h.domStats(d).minorFaults.Add(1)
 			return f, nil
 		}
 		sh.mu.Unlock()
@@ -86,7 +88,7 @@ func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) (int32, error) {
 			// wait, pay the queueing delay, and retry — on a coalesced
 			// page-in the retry is a minor fault onto the winner's frame.
 			is.mu.Unlock()
-			h.waitInflight(th, op, true)
+			h.waitInflight(th, op, true, d)
 			continue
 		}
 		op := &inflightOp{done: make(chan struct{})}
@@ -103,13 +105,13 @@ func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) (int32, error) {
 		runtime.Gosched()
 
 		c0 := th.T.Cycles()
-		f, err := h.takeFrame(th)
+		f, err := h.takeFrame(th, d)
 		if err != nil {
 			h.finishInflight(th, is, bsPage, op)
 			return -1, err
 		}
-		h.pageIn(th, bsPage, f)
-		h.stats.faultCycles.Add(th.T.Cycles() - c0)
+		h.pageIn(th, bsPage, f, d)
+		h.domStats(d).faultCycles.Add(th.T.Cycles() - c0)
 		fm := &h.frames[f]
 		fm.bsPage.Store(bsPage)
 		fm.refcnt.Store(1)
@@ -121,7 +123,7 @@ func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) (int32, error) {
 		sh.mu.Unlock()
 		op.pagedIn = true
 		h.finishInflight(th, is, bsPage, op)
-		h.stats.majorFaults.Add(1)
+		h.domStats(d).majorFaults.Add(1)
 		return f, nil
 	}
 }
@@ -136,15 +138,15 @@ func (h *Heap) majorFault(th *sgx.Thread, bsPage uint64) (int32, error) {
 // winner's frame. takeFrame waiters pass false — they queue on a
 // victim's page while claiming a frame, which is contention, not
 // coalescing.
-func (h *Heap) waitInflight(th *sgx.Thread, op *inflightOp, coalesce bool) {
+func (h *Heap) waitInflight(th *sgx.Thread, op *inflightOp, coalesce bool, d *Domain) {
 	<-op.done
 	if now := th.T.Cycles(); op.doneAt > now {
 		wait := op.doneAt - now
 		th.T.Charge(wait)
-		h.stats.faultWaitCycles.Add(wait)
+		h.domStats(d).faultWaitCycles.Add(wait)
 	}
 	if coalesce && op.pagedIn {
-		h.stats.faultsCoalesced.Add(1)
+		h.domStats(d).faultsCoalesced.Add(1)
 	}
 }
 
@@ -162,7 +164,7 @@ func (h *Heap) finishInflight(th *sgx.Thread, is *inflightShard, bsPage uint64, 
 // from the backing store if a sealed copy exists, zero-fill otherwise
 // (fresh allocation). Called with the page's in-flight entry held; the
 // frame is not yet published in the resident table.
-func (h *Heap) pageIn(th *sgx.Thread, bsPage uint64, f int32) {
+func (h *Heap) pageIn(th *sgx.Thread, bsPage uint64, f int32, d *Domain) {
 	h.lockCost(th)
 	h.touchMeta(th, bsPage, false)
 	ms := h.meta.shard(bsPage)
@@ -178,7 +180,7 @@ func (h *Heap) pageIn(th *sgx.Thread, bsPage uint64, f int32) {
 
 	if !present {
 		th.WriteStream(h.frameVaddr(f), zeroBuf[:h.pageSize])
-		h.stats.pageIns.Add(1)
+		h.domStats(d).pageIns.Add(1)
 		return
 	}
 	addr, sealer := h.resolve(bsPage)
@@ -193,7 +195,7 @@ func (h *Heap) pageIn(th *sgx.Thread, bsPage uint64, f int32) {
 		panic(fmt.Sprintf("suvm: backing-store page %d failed integrity verification: %v", bsPage, err))
 	}
 	th.WriteStream(h.frameVaddr(f), plain)
-	h.stats.pageIns.Add(1)
+	h.domStats(d).pageIns.Add(1)
 }
 
 // evictAttempts bounds consecutive empty victim scans before takeFrame
@@ -201,22 +203,29 @@ func (h *Heap) pageIn(th *sgx.Thread, bsPage uint64, f int32) {
 const evictAttempts = 3
 
 // takeFrame supplies one free frame for a page-in: pop the sharded free
-// pool, else evict a victim. Races with other takers are resolved page
-// by page — a victim that another thread is already evicting is skipped
+// pool, else evict a victim. Frame supply is per-domain: a carved
+// domain's faults draw from its own pool and evict within its own frame
+// range only (nil = the root's pool and range), so one domain can never
+// steal another's EPC++. Races with other takers are resolved page by
+// page — a victim that another thread is already evicting is skipped
 // (after waiting out the conflict), a victim that got pinned or remapped
 // since selection costs one retry. Fails with sgx.ErrOutOfEPC (wrapped)
 // only when victim selection finds no unpinned frame at all.
-func (h *Heap) takeFrame(th *sgx.Thread) (int32, error) {
+func (h *Heap) takeFrame(th *sgx.Thread, d *Domain) (int32, error) {
+	free, ev := h.free, h.ev
+	if d != nil {
+		free, ev = d.free, d.ev
+	}
 	exhausted := 0
 	for {
-		if f, ok := h.free.take(); ok {
+		if f, ok := free.take(); ok {
 			return f, nil
 		}
-		v := h.ev.pick(h)
+		v := ev.pick(h, d)
 		if v < 0 {
 			exhausted++
 			if exhausted >= evictAttempts {
-				return -1, fmt.Errorf("suvm: EPC++ exhausted — every frame is pinned by a linked spointer: %w", sgx.ErrOutOfEPC)
+				return -1, fmt.Errorf("suvm: EPC++ of domain %q exhausted — every frame is pinned by a linked spointer: %w", domName(d), sgx.ErrOutOfEPC)
 			}
 			continue
 		}
@@ -228,7 +237,7 @@ func (h *Heap) takeFrame(th *sgx.Thread) (int32, error) {
 		if busy != nil {
 			// Another thread is mid-eviction on this victim's page and
 			// keeps the frame; wait out the conflict and pick elsewhere.
-			h.waitInflight(th, busy, false)
+			h.waitInflight(th, busy, false, d)
 		}
 	}
 }
@@ -279,12 +288,16 @@ func (h *Heap) evictFrame(th *sgx.Thread, f int32) (bool, *inflightOp) {
 	fm.bsPage.Store(noBSPage)
 	sh.mu.Unlock()
 
+	// Attribute the eviction to the frame's owning domain — the victim
+	// is always one of the evicting domain's own frames, because victim
+	// selection and free pools are range-confined per domain.
+	st := h.domStats(fm.dom)
 	if dirty || h.cfg.WriteBackClean {
 		h.writeBack(th, bsPage, f)
 	} else {
-		h.stats.cleanDrops.Add(1)
+		st.cleanDrops.Add(1)
 	}
-	h.stats.evictions.Add(1)
+	st.evictions.Add(1)
 	h.finishInflight(th, is, bsPage, op)
 	return true, nil
 }
@@ -311,14 +324,14 @@ func (h *Heap) writeBack(th *sgx.Thread, bsPage uint64, f int32) {
 	m.nonce = nonce
 	copy(m.tag[:], sealed[h.pageSize:])
 	ms.mu.Unlock()
-	h.stats.writeBacks.Add(1)
+	h.domStats(h.frames[f].dom).writeBacks.Add(1)
 }
 
 // access is the positioned, stays-unlinked data path used by containers
 // (and by spointer accesses spanning a page boundary): each touched page
 // is transiently pinned, copied through, and released. On error the
 // copy stops at the failing page; earlier pages have been transferred.
-func (h *Heap) access(th *sgx.Thread, addr uint64, buf []byte, write bool) error {
+func (h *Heap) access(th *sgx.Thread, addr uint64, buf []byte, write bool, d *Domain) error {
 	for len(buf) > 0 {
 		bsPage := h.bsPageOf(addr)
 		pageOff := addr & (h.pageSize - 1)
@@ -326,7 +339,7 @@ func (h *Heap) access(th *sgx.Thread, addr uint64, buf []byte, write bool) error
 		if n > len(buf) {
 			n = len(buf)
 		}
-		f, err := h.acquire(th, bsPage)
+		f, err := h.acquire(th, bsPage, d)
 		if err != nil {
 			return err
 		}

@@ -55,6 +55,10 @@ var (
 	// attaching a segment that is mounted elsewhere, or detaching one
 	// whose pages are still pinned by linked spointers.
 	ErrSegmentBusy = errors.New("suvm: segment busy")
+	// ErrCrossDomain marks an operation that crossed a service-domain
+	// boundary: freeing an allocation owned by a different carved domain
+	// (or by the root) than the one asked to free it.
+	ErrCrossDomain = errors.New("suvm: allocation belongs to a different domain")
 )
 
 // EvictionPolicy selects victims in EPC++. Exposing it is one of the
@@ -217,12 +221,18 @@ type Heap struct {
 
 	scratch sync.Pool // page-size byte buffers
 
+	// Carved service domains (domain.go). Mutated only under the
+	// exclusive resize epoch; published atomically so lock-free readers
+	// (stats, resize guards) see a consistent snapshot.
+	domains atomic.Pointer[[]*Domain]
+
 	stats Stats
 }
 
 type allocInfo struct {
 	size   uint64
 	direct bool
+	dom    *Domain // owning carved domain, nil for the root
 }
 
 // New creates a SUVM heap inside encl. setup must be a thread of the
@@ -289,7 +299,7 @@ func New(encl *sgx.Enclave, setup *sgx.Thread, cfg Config) (*Heap, error) {
 	encl.Pin(setup, h.frameBase, uint64(maxFrames)*h.pageSize)
 	h.frames = make([]frameMeta, maxFrames)
 	h.activeFrames = maxFrames
-	h.free = newFramePool(maxFrames)
+	h.free = newFramePool(0, maxFrames)
 	for i := range h.frames {
 		h.frames[i].bsPage.Store(noBSPage)
 	}
@@ -329,6 +339,10 @@ type frameMeta struct {
 	accessed atomic.Bool // clock reference bit
 	dirty    atomic.Bool // set by writers; consumed under the shard lock at eviction
 	disabled bool        // removed from EPC++ by ballooning (under the exclusive resize epoch)
+	// dom is the carved domain this frame was assigned to, nil for the
+	// root. Written only under the exclusive resize epoch (NewDomain),
+	// read by fault and eviction paths holding the epoch shared.
+	dom *Domain
 }
 
 const iptEntryBytes = 16
@@ -361,42 +375,51 @@ func (h *Heap) Enclave() *sgx.Enclave { return h.encl }
 // Malloc allocates n bytes in the backing store and returns an unlinked
 // spointer to it, as suvm_malloc does. The memory is demand-cached in
 // EPC++ on first access.
-func (h *Heap) Malloc(n uint64) (*SPtr, error) {
-	if n == 0 {
-		return nil, fmt.Errorf("%w: zero-size allocation", ErrBadConfig)
-	}
-	h.allocMu.Lock()
-	defer h.allocMu.Unlock()
-	addr, err := h.cachedBS.Alloc(n)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBackingFull, err)
-	}
-	h.allocs[addr] = allocInfo{size: n, direct: false}
-	return &SPtr{h: h, base: addr, size: n, frame: -1}, nil
-}
+func (h *Heap) Malloc(n uint64) (*SPtr, error) { return h.mallocFrom(n, nil, false) }
 
 // MallocDirect allocates n bytes accessed directly in the backing store
 // at sub-page granularity, bypassing EPC++ (§3.2.4). Suited to small
 // random accesses with no reuse.
-func (h *Heap) MallocDirect(n uint64) (*SPtr, error) {
+func (h *Heap) MallocDirect(n uint64) (*SPtr, error) { return h.mallocFrom(n, nil, true) }
+
+// mallocFrom allocates on behalf of domain d (nil = root), tagging the
+// allocation and spointer with their owner and enforcing the domain's
+// backing quota.
+func (h *Heap) mallocFrom(n uint64, d *Domain, direct bool) (*SPtr, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("%w: zero-size allocation", ErrBadConfig)
 	}
 	h.allocMu.Lock()
 	defer h.allocMu.Unlock()
-	addr, err := h.directBS.Alloc(n)
+	if d != nil && d.quota != 0 && d.quotaUsed+n > d.quota {
+		return nil, fmt.Errorf("%w: domain %q backing quota exceeded (%d of %d bytes in use)",
+			ErrBackingFull, d.name, d.quotaUsed, d.quota)
+	}
+	bs := h.cachedBS
+	if direct {
+		bs = h.directBS
+	}
+	addr, err := bs.Alloc(n)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBackingFull, err)
 	}
-	h.allocs[addr] = allocInfo{size: n, direct: true}
-	return &SPtr{h: h, base: addr, size: n, frame: -1, direct: true}, nil
+	h.allocs[addr] = allocInfo{size: n, direct: direct, dom: d}
+	if d != nil {
+		d.quotaUsed += n
+	}
+	return &SPtr{h: h, base: addr, size: n, frame: -1, direct: direct, dom: d}, nil
 }
 
 // Free releases an allocation, unlinking the spointer first. Cached
 // contents of pages shared with live allocations stay valid; the freed
 // range may be recycled by a later Malloc with malloc(3) semantics
-// (contents unspecified).
-func (h *Heap) Free(th *sgx.Thread, p *SPtr) error {
+// (contents unspecified). Allocations made from a carved domain must be
+// freed through that domain (ErrCrossDomain otherwise).
+func (h *Heap) Free(th *sgx.Thread, p *SPtr) error { return h.freeFrom(th, p, nil) }
+
+// freeFrom releases an allocation on behalf of domain owner (nil =
+// root), refusing to free across domain boundaries.
+func (h *Heap) freeFrom(th *sgx.Thread, p *SPtr, owner *Domain) error {
 	if p.h == nil {
 		return fmt.Errorf("%w: double free", ErrFreed)
 	}
@@ -405,27 +428,63 @@ func (h *Heap) Free(th *sgx.Thread, p *SPtr) error {
 	}
 	// Validate before mutating: the spointer must be a live allocation of
 	// this heap before its link state is touched, so a bad Free (segment
-	// spointer, interior pointer) leaves the spointer fully usable.
+	// spointer, interior pointer, cross-domain free) leaves the spointer
+	// fully usable.
 	h.allocMu.Lock()
 	defer h.allocMu.Unlock()
 	info, ok := h.allocs[p.base]
 	if !ok {
 		return ErrDoubleFree
 	}
+	if info.dom != owner {
+		return fmt.Errorf("%w: owned by %q, freed via %q", ErrCrossDomain, domName(info.dom), domName(owner))
+	}
 	p.Unlink(th)
 	delete(h.allocs, p.base)
 	p.h = nil // poison: further use of the spointer fails with ErrFreed
+	if info.dom != nil {
+		info.dom.quotaUsed -= info.size
+	}
 	if info.direct {
 		return h.directBS.Free(p.base)
 	}
 	return h.cachedBS.Free(p.base)
 }
 
-// Stats returns a snapshot of the heap's event counters.
-func (h *Heap) Stats() StatsSnapshot { return h.stats.snapshot() }
+// Stats returns a snapshot of the heap's event counters. With carved
+// domains the flat totals aggregate root + every domain, and Domains
+// carries the per-domain breakdown.
+func (h *Heap) Stats() StatsSnapshot {
+	snap := h.stats.snapshot()
+	doms := h.domainList()
+	if len(doms) == 0 {
+		return snap
+	}
+	snap.Domains = make([]DomainStatsSnapshot, 0, len(doms))
+	for _, d := range doms {
+		ds := d.stats.snapshot()
+		snap.add(&ds)
+		snap.Domains = append(snap.Domains, DomainStatsSnapshot{Name: d.name, StatsSnapshot: ds})
+	}
+	return snap
+}
 
-// ResetStats zeroes the counters (benchmark warm-up boundary).
-func (h *Heap) ResetStats() { h.stats.reset() }
+// ResetStats zeroes the counters — root and every carved domain
+// (benchmark warm-up boundary).
+func (h *Heap) ResetStats() {
+	h.stats.reset()
+	for _, d := range h.domainList() {
+		d.stats.reset()
+	}
+}
+
+// Quiesce waits for every in-flight fault and eviction to drain by
+// cycling the resize epoch exclusively. Teardown hook: after Quiesce
+// returns, no fault started before the call still holds heap state.
+func (h *Heap) Quiesce() {
+	h.epoch.Lock()
+	defer h.epoch.Unlock()
+}
 
 // ActiveFrames reports the current EPC++ capacity in pages.
 func (h *Heap) ActiveFrames() int {

@@ -24,6 +24,7 @@ type SPtr struct {
 	size   uint64
 	off    uint64 // current offset within the allocation
 	direct bool
+	dom    *Domain // owning carved domain, nil for the root
 
 	frame      int32 // linked EPC++ frame, or -1
 	linkedPage uint64
@@ -32,6 +33,10 @@ type SPtr struct {
 
 // Heap returns the owning SUVM heap.
 func (p *SPtr) Heap() *Heap { return p.h }
+
+// Domain returns the carved domain that owns the allocation, or nil for
+// an allocation made directly on the heap (the root domain).
+func (p *SPtr) Domain() *Domain { return p.dom }
 
 // Size returns the allocation size in bytes.
 func (p *SPtr) Size() uint64 { return p.size }
@@ -132,7 +137,7 @@ func (p *SPtr) accessCurrent(th *sgx.Thread, buf []byte, write bool) error {
 		return fmt.Errorf("%w: %d-byte access at offset %d of %d-byte allocation", ErrOutOfRange, len(buf), p.off, p.size)
 	}
 	if p.direct {
-		return p.h.directAccess(th, addr, buf, write)
+		return p.h.directAccess(th, addr, buf, write, p.dom)
 	}
 	h := p.h
 	pageOff := addr & (h.pageSize - 1)
@@ -157,12 +162,12 @@ func (p *SPtr) accessCurrent(th *sgx.Thread, buf []byte, write bool) error {
 	if !withinPage {
 		// Spans pages: go through the transient path, staying unlinked.
 		p.Unlink(th)
-		return h.access(th, addr, buf, write)
+		return h.access(th, addr, buf, write, p.dom)
 	}
 	// Unlinked single-page access: take the pin and keep it (link).
 	p.Unlink(th)
 	bsPage := h.bsPageOf(addr)
-	f, err := h.acquire(th, bsPage)
+	f, err := h.acquire(th, bsPage, p.dom)
 	if err != nil {
 		return err
 	}
@@ -237,9 +242,9 @@ func (p *SPtr) accessAt(th *sgx.Thread, off uint64, buf []byte, write bool) erro
 		return fmt.Errorf("%w: %d-byte access at offset %d of %d-byte allocation", ErrOutOfRange, len(buf), off, p.size)
 	}
 	if p.direct {
-		return p.h.directAccess(th, p.base+off, buf, write)
+		return p.h.directAccess(th, p.base+off, buf, write, p.dom)
 	}
-	return p.h.access(th, p.base+off, buf, write)
+	return p.h.access(th, p.base+off, buf, write, p.dom)
 }
 
 // U64At reads a little-endian uint64 at an absolute offset.

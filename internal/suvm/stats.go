@@ -68,6 +68,38 @@ type StatsSnapshot struct {
 	// EvictScanFrames/EvictScans is the policy's mean scan length.
 	EvictScans      uint64
 	EvictScanFrames uint64
+
+	// Domains breaks the counters down per carved service domain
+	// (domain.go). Nil when the heap has no carved domains; when
+	// present, the flat fields above are the sum of the root's own
+	// counters and every domain's.
+	Domains []DomainStatsSnapshot
+}
+
+// DomainStatsSnapshot is one carved domain's share of a heap snapshot.
+type DomainStatsSnapshot struct {
+	// Name is the domain's DomainConfig.Name.
+	Name string
+	StatsSnapshot
+}
+
+// add accumulates o's counters into s (aggregation of per-domain
+// snapshots into the heap-wide totals; o.Domains is ignored).
+func (s *StatsSnapshot) add(o *StatsSnapshot) {
+	s.MajorFaults += o.MajorFaults
+	s.MinorFaults += o.MinorFaults
+	s.PageIns += o.PageIns
+	s.Evictions += o.Evictions
+	s.WriteBacks += o.WriteBacks
+	s.CleanDrops += o.CleanDrops
+	s.DirectReads += o.DirectReads
+	s.DirectWrites += o.DirectWrites
+	s.Resizes += o.Resizes
+	s.FaultCycles += o.FaultCycles
+	s.FaultsCoalesced += o.FaultsCoalesced
+	s.FaultWaitCycles += o.FaultWaitCycles
+	s.EvictScans += o.EvictScans
+	s.EvictScanFrames += o.EvictScanFrames
 }
 
 func (s *Stats) snapshot() StatsSnapshot {

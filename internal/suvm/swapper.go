@@ -31,6 +31,12 @@ func (h *Heap) ResizeTo(th *sgx.Thread, targetBytes uint64) error {
 	if target == h.activeFrames {
 		return nil
 	}
+	if len(h.domainList()) > 0 {
+		// Carved domains own fixed frame ranges at the top of the pool;
+		// resizing would move the boundary under them. Per-domain
+		// rebalancing is the fleet controller's job (ROADMAP item 1).
+		return fmt.Errorf("%w: cannot resize EPC++ while service domains are carved", ErrBadConfig)
+	}
 	h.stats.resizes.Add(1)
 	if target < h.activeFrames {
 		return h.shrinkLocked(th, target)
@@ -108,7 +114,7 @@ func (h *Heap) ReclaimFreePool(th *sgx.Thread, target int) int {
 			h.epoch.RUnlock()
 			return reclaimed
 		}
-		v := h.ev.pick(h)
+		v := h.ev.pick(h, nil)
 		if v < 0 {
 			h.epoch.RUnlock()
 			return reclaimed

@@ -129,3 +129,45 @@ func WithManualSwapper() EnclaveOption {
 		c.SwapperInterval = 0
 	})
 }
+
+// ServiceOption configures one carved service in Enclave.NewService,
+// applied in order.
+type ServiceOption interface {
+	applyServiceOption(*serviceConfig)
+}
+
+type serviceConfig struct {
+	epcBytes     uint64
+	backingQuota uint64
+	policy       EvictionPolicy
+	seed         uint64
+}
+
+type serviceOptionFunc func(*serviceConfig)
+
+func (f serviceOptionFunc) applyServiceOption(c *serviceConfig) { f(c) }
+
+// WithServiceEPC sets the service's EPC++ share in bytes, carved out of
+// the enclave's page cache. Required.
+func WithServiceEPC(n uint64) ServiceOption {
+	return serviceOptionFunc(func(c *serviceConfig) { c.epcBytes = n })
+}
+
+// WithServiceBacking caps the service's total backing-store allocation
+// in bytes (0 = unlimited). A fairness knob for the shared untrusted
+// backing region, not a PRM limit.
+func WithServiceBacking(n uint64) ServiceOption {
+	return serviceOptionFunc(func(c *serviceConfig) { c.backingQuota = n })
+}
+
+// WithServicePolicy selects the service domain's EPC++ eviction policy
+// (default PolicyClock) — the per-service half of §3.2.4's
+// application-controlled eviction.
+func WithServicePolicy(p EvictionPolicy) ServiceOption {
+	return serviceOptionFunc(func(c *serviceConfig) { c.policy = p })
+}
+
+// WithServiceSeed seeds the service's PolicyRandom evictor (default 1).
+func WithServiceSeed(seed uint64) ServiceOption {
+	return serviceOptionFunc(func(c *serviceConfig) { c.seed = seed })
+}

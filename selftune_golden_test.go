@@ -76,7 +76,7 @@ func goldenWorkload(t *testing.T, pump, observe bool) [5]uint64 {
 			}
 		}
 	}
-	hs := encl.Stats()
+	hs := rt.Stats().Heaps[0]
 	return [5]uint64{
 		ctx.Cycles(),
 		ctx.Thread().SyncEnclaveCycles(),

@@ -1,0 +1,143 @@
+package eleos
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"eleos/internal/exitio"
+	"eleos/internal/suvm"
+)
+
+// Service is one isolated tenant of a multi-service enclave: a named
+// SUVM heap domain carved out of the enclave's shared EPC++, plus a
+// per-service slice of the runtime's exit-less I/O engine. Co-resident
+// services amortize the enclave's PRM footprint and RPC/IO plumbing
+// (the Occlum-style consolidation scenario, PAPERS.md arXiv 2001.07450)
+// while keeping paging isolation: a service's faults can only consume
+// its own EPC++ frames, and its allocations can only be freed through
+// it (ErrCrossDomain otherwise). Cross-service interaction goes through
+// Ctx.CrossCall — an intra-enclave function call, no doorbell — and the
+// boundary is enforced statically by eleoslint's service-domain pass
+// (annotate packages with "//eleos:service <name>").
+//
+// Contexts opened with Service.NewContext allocate from the service's
+// domain and report I/O on the service's counter group; everything else
+// about them (Exitless, Go, OCall, Pump, ...) is the plain Ctx surface.
+type Service struct {
+	e    *Enclave
+	name string
+	dom  *suvm.Domain
+	grp  *exitio.Group
+
+	crossIn  atomic.Uint64 // CrossCalls that targeted this service
+	crossOut atomic.Uint64 // CrossCalls its contexts issued
+}
+
+// NewService carves a named, isolated service out of the enclave. The
+// EPC++ share (WithServiceEPC) is required and is removed from the
+// enclave root heap's active frames; the carve fails with ErrOutOfEPC
+// if fewer than 4 root frames would remain. Services are torn down with
+// the enclave; they cannot be un-carved individually.
+func (e *Enclave) NewService(name string, opts ...ServiceOption) (*Service, error) {
+	var cfg serviceConfig
+	for _, o := range opts {
+		o.applyServiceOption(&cfg)
+	}
+	if name == "" {
+		return nil, fmt.Errorf("%w: service name is required", ErrBadConfig)
+	}
+	if cfg.epcBytes == 0 {
+		return nil, fmt.Errorf("%w: service %q needs an EPC++ share (WithServiceEPC)", ErrBadConfig, name)
+	}
+	setup := e.encl.NewThread()
+	setup.Enter()
+	dom, err := e.heap.NewDomain(setup, suvm.DomainConfig{
+		Name:         name,
+		EPCBytes:     cfg.epcBytes,
+		BackingQuota: cfg.backingQuota,
+		Policy:       cfg.policy,
+		RandomSeed:   cfg.seed,
+	})
+	setup.Exit()
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{e: e, name: name, dom: dom, grp: e.rt.io.NewGroup()}
+	e.rt.mu.Lock()
+	e.services = append(e.services, s)
+	e.rt.mu.Unlock()
+	return s, nil
+}
+
+// Services returns the enclave's carved services in creation order.
+func (e *Enclave) Services() []*Service {
+	e.rt.mu.Lock()
+	defer e.rt.mu.Unlock()
+	return append([]*Service(nil), e.services...)
+}
+
+// Name returns the service name.
+func (s *Service) Name() string { return s.name }
+
+// Enclave returns the hosting enclave.
+func (s *Service) Enclave() *Enclave { return s.e }
+
+// Domain exposes the service's SUVM heap domain (for the lower-level
+// suvm APIs and explicit threads).
+func (s *Service) Domain() *suvm.Domain { return s.dom }
+
+// IOGroup exposes the service's exit-less I/O counter group.
+func (s *Service) IOGroup() *IOGroup { return s.grp }
+
+// NewContext creates and enters a fresh hardware thread bound to this
+// service: Malloc/MallocDirect draw from the service's heap domain,
+// Free refuses other services' allocations, and IO() opens a queue that
+// attributes its doorbells to the service.
+func (s *Service) NewContext() *Ctx {
+	th := s.e.encl.NewThread()
+	th.Enter()
+	return &Ctx{e: s.e, th: th, svc: s}
+}
+
+// Stats returns the service's rollup: its heap domain counters, its
+// share of I/O engine activity, and its CrossCall traffic.
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Name:          s.name,
+		Heap:          s.dom.Stats(),
+		IO:            s.grp.Stats(),
+		CrossCallsIn:  s.crossIn.Load(),
+		CrossCallsOut: s.crossOut.Load(),
+	}
+}
+
+// Service returns the service this context is bound to, or nil for a
+// plain enclave context.
+func (c *Ctx) Service() *Service { return c.svc }
+
+// CrossCall runs fn as the target service, on this context's thread —
+// the consolidation fast path: co-resident services share an address
+// space, so crossing between them is a function call plus a descriptor
+// touch (charged 2×L1 + a spinlock, ~70 cycles) instead of a cross-
+// enclave exit-less RPC (~10^3 cycles of enqueue/dispatch/wake) or an
+// enclave exit round trip (~8000 cycles). The callee context allocates
+// from — and may free — the target's heap domain. Fails with
+// ErrCrossEnclave if target lives in a different enclave; that crossing
+// needs real RPC. The static service-domain lint pass requires
+// cross-service calls to go through here.
+func (c *Ctx) CrossCall(target *Service, fn func(*Ctx)) error {
+	if target == nil {
+		return fmt.Errorf("%w: nil target service", ErrBadConfig)
+	}
+	if target.e != c.e {
+		return fmt.Errorf("%w: service %q is hosted by a different enclave", ErrCrossEnclave, target.name)
+	}
+	m := c.e.rt.plat.Model
+	c.th.T.Charge(2*m.L1Hit + m.SpinLock)
+	if c.svc != nil {
+		c.svc.crossOut.Add(1)
+	}
+	target.crossIn.Add(1)
+	fn(&Ctx{e: c.e, th: c.th, svc: target})
+	return nil
+}

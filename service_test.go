@@ -1,0 +1,233 @@
+package eleos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// Public-API tests of the multi-service surface: NewService validation,
+// cross-call semantics and accounting, the Runtime.Stats rollup, and
+// Destroy's idempotency — including destroying an enclave while one of
+// its services is mid-fault (the -race regression for the teardown
+// path).
+
+func TestNewServiceValidation(t *testing.T) {
+	rt := newRuntime(t)
+	encl, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encl.Destroy()
+	if _, err := encl.NewService("", WithServiceEPC(64<<10)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nameless service: got %v, want ErrBadConfig", err)
+	}
+	if _, err := encl.NewService("noepc"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("service without EPC share: got %v, want ErrBadConfig", err)
+	}
+	s, err := encl.NewService("ok", WithServiceEPC(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encl.NewService("ok", WithServiceEPC(64<<10)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("duplicate service name: got %v, want ErrBadConfig", err)
+	}
+	if got := encl.Services(); len(got) != 1 || got[0] != s {
+		t.Fatalf("Services() = %v, want [ok]", got)
+	}
+}
+
+func TestCrossCallSemantics(t *testing.T) {
+	rt := newRuntime(t)
+	encl, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encl.Destroy()
+	a, err := encl.NewService("a", WithServiceEPC(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := encl.NewService("b", WithServiceEPC(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := a.NewContext()
+	defer ctx.Close()
+
+	if err := ctx.CrossCall(nil, func(*Ctx) {}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil target: got %v, want ErrBadConfig", err)
+	}
+
+	// The crossing is a function call plus descriptor touch: exactly
+	// 2xL1 + one spinlock, no doorbell, no exit.
+	m := rt.Platform().Model
+	c0 := ctx.Cycles()
+	var calleeSvc *Service
+	if err := ctx.CrossCall(b, func(cc *Ctx) { calleeSvc = cc.Service() }); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ctx.Cycles()-c0, 2*m.L1Hit+m.SpinLock; got != want {
+		t.Fatalf("CrossCall charged %d cycles, want %d", got, want)
+	}
+	if calleeSvc != b {
+		t.Fatal("callee context not bound to the target service")
+	}
+	if a.Stats().CrossCallsOut != 1 || b.Stats().CrossCallsIn != 1 {
+		t.Fatalf("cross-call accounting: a.out=%d b.in=%d, want 1/1",
+			a.Stats().CrossCallsOut, b.Stats().CrossCallsIn)
+	}
+
+	// The callee context allocates from the target's domain.
+	if err := ctx.CrossCall(b, func(cc *Ctx) {
+		p, err := cc.Malloc(8 << 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.WriteAt(0, []byte("hi")); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Free(); err != nil {
+			t.Fatal(err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats().Heap.MajorFaults == 0 {
+		t.Fatal("callee allocation did not fault in the target's domain")
+	}
+	if a.Stats().Heap.MajorFaults != 0 {
+		t.Fatal("callee allocation charged the caller's domain")
+	}
+
+	// Services of another enclave need real RPC, not CrossCall.
+	encl2, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encl2.Destroy()
+	far, err := encl2.NewService("far", WithServiceEPC(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.CrossCall(far, func(*Ctx) {}); !errors.Is(err, ErrCrossEnclave) {
+		t.Fatalf("cross-enclave CrossCall: got %v, want ErrCrossEnclave", err)
+	}
+}
+
+func TestRuntimeStatsServiceRollup(t *testing.T) {
+	rt := newRuntime(t)
+	e0, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e0.Destroy()
+	e1, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Destroy()
+	if _, err := e0.NewService("alpha", WithServiceEPC(64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	beta, err := e1.NewService("beta", WithServiceEPC(64<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := beta.NewContext()
+	p, err := ctx.Malloc(16 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteAt(0, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	ctx.Close()
+
+	st := rt.Stats()
+	if len(st.Services) != 2 {
+		t.Fatalf("Stats().Services has %d entries, want 2", len(st.Services))
+	}
+	byName := map[string]ServiceStats{}
+	for _, s := range st.Services {
+		byName[s.Name] = s
+	}
+	if byName["alpha"].Enclave != 0 || byName["beta"].Enclave != 1 {
+		t.Fatalf("service->enclave attribution wrong: %+v", st.Services)
+	}
+	if byName["beta"].Heap.MajorFaults == 0 {
+		t.Fatal("beta's faults missing from the runtime rollup")
+	}
+}
+
+func TestEnclaveDestroyIdempotent(t *testing.T) {
+	rt := newRuntime(t)
+	encl, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := encl.NewService("svc", WithServiceEPC(64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	encl.Destroy()
+	encl.Destroy() // second call is a no-op
+
+	// Concurrent double-destroy: exactly one caller tears down.
+	encl2, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			encl2.Destroy()
+		}()
+	}
+	wg.Wait()
+	if got := len(rt.Stats().Heaps); got != 0 {
+		t.Fatalf("%d enclaves still registered after destroy", got)
+	}
+}
+
+// TestDestroyRacesServiceFault tears an enclave down while a service
+// context is mid-fault on its domain. The destroy path quiesces the
+// fault pipeline (exclusive epoch) before releasing the hardware pages,
+// so under -race this exercises the teardown ordering; the faulting
+// worker may finish or observe demand-zero pages, but must not crash.
+func TestDestroyRacesServiceFault(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		rt := newRuntime(t)
+		encl, err := rt.NewEnclave(EnclaveConfig{PageCacheBytes: 2 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := encl.NewService("victim", WithServiceEPC(256<<10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := svc.NewContext()
+		p, err := ctx.Malloc(1 << 20) // 4x the carve: every page faults
+		if err != nil {
+			t.Fatal(err)
+		}
+		started := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			buf := make([]byte, 64)
+			close(started)
+			for off := uint64(0); off < 1<<20; off += 4096 {
+				// Errors are fine once the enclave is gone; crashes are not.
+				if err := p.WriteAt(off, buf); err != nil {
+					return
+				}
+			}
+		}()
+		<-started
+		encl.Destroy()
+		<-done
+		ctx.Close()
+	}
+}

@@ -19,6 +19,29 @@ type RuntimeStats struct {
 	// Tune is the self-tuning controller. Enabled is false (and the
 	// rest zero) when the runtime was built without autotuning.
 	Tune TuneStats
+	// Services carries per-service rollups across all live enclaves, in
+	// enclave order then service creation order. Empty when no enclave
+	// has carved services.
+	Services []ServiceStats
+}
+
+// ServiceStats is one carved service's rollup: its heap domain
+// counters, its share of the shared I/O engine's activity, and its
+// CrossCall traffic.
+type ServiceStats struct {
+	// Name is the service name given to NewService.
+	Name string
+	// Enclave is the index of the hosting enclave in RuntimeStats.Heaps.
+	Enclave int
+	// Heap is the service's SUVM domain snapshot (faults, evictions,
+	// writebacks charged to this service only).
+	Heap HeapStats
+	// IO is the service's slice of engine activity (doorbells, chains,
+	// ops, reap-stall cycles from queues its contexts opened).
+	IO IOStats
+	// CrossCallsIn counts CrossCalls that targeted this service;
+	// CrossCallsOut counts CrossCalls its contexts issued.
+	CrossCallsIn, CrossCallsOut uint64
 }
 
 // Stats snapshots the whole runtime. The layers are read one after the
@@ -29,9 +52,18 @@ func (r *Runtime) Stats() RuntimeStats {
 	st := RuntimeStats{RPC: r.pool.Stats(), IO: r.io.Stats()}
 	r.mu.Lock()
 	encls := append([]*Enclave(nil), r.enclaves...)
+	svcs := make([][]*Service, len(encls))
+	for i, e := range encls {
+		svcs[i] = append([]*Service(nil), e.services...)
+	}
 	r.mu.Unlock()
-	for _, e := range encls {
+	for i, e := range encls {
 		st.Heaps = append(st.Heaps, e.heap.Stats())
+		for _, s := range svcs[i] {
+			ss := s.Stats()
+			ss.Enclave = i
+			st.Services = append(st.Services, ss)
+		}
 	}
 	if r.tuner != nil {
 		st.Tune = r.tuner.Stats()
