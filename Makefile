@@ -41,8 +41,9 @@ race:
 
 lint: eleoslint staticcheck
 
-# The custom analyzer suite. Built from source every time (it is a few
-# hundred lines; the Go build cache makes the rebuild free) and run over
+# The custom analyzer suite: trustboundary, simdeterminism,
+# servicedomain, lockorder, atomicfield and hotpath. Built from source
+# every time (the Go build cache makes the rebuild free) and run over
 # the whole module. See internal/lint and DESIGN.md "Static invariants".
 eleoslint:
 	$(GO) build -o $(BIN)/eleoslint ./cmd/eleoslint

@@ -2,10 +2,14 @@
 // the module: trustboundary (enclave code reaches host memory only
 // through the sealing/spointer facades), simdeterminism (cycle-charged
 // packages stay a pure function of config and seeds), lockorder
-// (//eleos:lockorder mutex ranks are acquired in increasing order) and
+// (//eleos:lockorder mutex ranks are acquired in increasing order),
 // servicedomain (//eleos:service code crosses service boundaries only
-// through CrossCall). See internal/lint and the "Static invariants"
-// section of DESIGN.md.
+// through CrossCall), atomicfield (fields published through
+// sync/atomic are never read or written plainly, atomic-bearing
+// structs are never copied, atomic.Value stores agree on one concrete
+// type) and hotpath (//eleos:hotpath budget=N functions stay within
+// their worst-case heap-allocation budget). See internal/lint and the
+// "Static invariants" section of DESIGN.md.
 //
 // Usage:
 //
@@ -27,6 +31,8 @@ import (
 	"strings"
 
 	"eleos/internal/lint/analysis"
+	"eleos/internal/lint/atomicfield"
+	"eleos/internal/lint/hotpath"
 	"eleos/internal/lint/load"
 	"eleos/internal/lint/lockorder"
 	"eleos/internal/lint/servicedomain"
@@ -39,6 +45,8 @@ var analyzers = []*analysis.Analyzer{
 	simdeterminism.Analyzer,
 	lockorder.Analyzer,
 	servicedomain.Analyzer,
+	atomicfield.Analyzer,
+	hotpath.Analyzer,
 }
 
 func main() {

@@ -3,6 +3,7 @@ package eleos
 import (
 	"errors"
 
+	"eleos/internal/exitio"
 	"eleos/internal/rpc"
 	"eleos/internal/sgx"
 	"eleos/internal/suvm"
@@ -45,6 +46,12 @@ var (
 	// boundary: the allocation is owned by a different service (or by
 	// the enclave root) than the context that tried to free it.
 	ErrCrossDomain = suvm.ErrCrossDomain
+
+	// ErrCanceled marks the completion of a linked I/O op that never
+	// ran because an earlier op in its chain failed. FirstErr skips
+	// over these to the root cause; match individual CQEs with
+	// errors.Is.
+	ErrCanceled = exitio.ErrCanceled
 )
 
 // ErrCrossEnclave marks a CrossCall whose target service lives in a

@@ -237,6 +237,53 @@ func TestSentinelErrorTable(t *testing.T) {
 		{"PoolStopped/CallBatch", ErrPoolStopped, func(t *testing.T) error {
 			return closedRT.Pool().CallBatch(closedCtx.Thread(), []func(*HostCtx){func(h *HostCtx) {}})
 		}},
+
+		{"ConflictingOptions/fixed pool with worker bounds", ErrConflictingOptions, func(t *testing.T) error {
+			over, err := NewRuntime(WithRPCWorkers(2), WithWorkerBounds(1, 4))
+			if err == nil {
+				over.Close()
+			}
+			return err
+		}},
+
+		{"CrossDomain/root allocation freed via service domain", ErrCrossDomain, func(t *testing.T) error {
+			p, err := ctxA.Malloc(4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			svc, err := ctxA.Enclave().NewService("crossdomain", WithServiceEPC(64<<10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			freeErr := svc.Domain().Free(ctxA.Thread(), p.Raw())
+			if err := p.Free(); err != nil {
+				t.Fatal(err)
+			}
+			return freeErr
+		}},
+
+		{"CrossEnclave/CrossCall into another enclave", ErrCrossEnclave, func(t *testing.T) error {
+			far, err := ctxB.Enclave().NewService("farsvc", WithServiceEPC(64<<10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ctxA.CrossCall(far, func(*Ctx) {})
+		}},
+
+		{"Canceled/linked op behind a failed op", ErrCanceled, func(t *testing.T) error {
+			q := ctxA.IO()
+			buf := make([]byte, 8)
+			q.Push(IOPread{FS: rt.NewFS(), FD: 9999, Off: 0, Buf: buf})
+			q.PushLinked(IOPread{FS: rt.NewFS(), FD: 9999, Off: 0, Buf: buf})
+			cqes, err := q.SubmitAndWait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(cqes) != 2 || cqes[0].Err == nil {
+				t.Fatalf("expected a failed op followed by a canceled op, got %+v", cqes)
+			}
+			return cqes[1].Err
+		}},
 	}
 
 	for _, tc := range cases {

@@ -18,6 +18,7 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"eleos/internal/cache"
@@ -181,3 +182,24 @@ func (v *env) resetCounters() {
 
 // perOp converts total cycles to cycles/op.
 func perOp(cycles uint64, ops int) float64 { return float64(cycles) / float64(ops) }
+
+// allocsStart snapshots the runtime's cumulative allocation count at
+// the start of a measured loop — the -benchmem discipline applied to
+// the harness itself, so experiments can report Go-heap allocs/op next
+// to their virtual-cycle numbers. Allocations are host-side bookkeeping
+// and never cycle-charged: the column is a health check on the
+// allocation-free hot paths (eleoslint's hotpath budgets, checked
+// dynamically), not part of the golden cycle fingerprints, and may
+// jitter slightly across runs (GC may empty sync.Pools mid-loop).
+func allocsStart() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// allocsPerOp converts an allocsStart delta to allocations per op.
+func allocsPerOp(start uint64, ops int) float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.Mallocs-start) / float64(ops)
+}

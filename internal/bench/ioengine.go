@@ -37,19 +37,19 @@ func runIOEngine(rc RunConfig) (*Result, error) {
 	ops := rc.Ops
 
 	t := report.New("GET loop throughput by submission shape (2 RPC workers, single serving thread)",
-		"value B", "sync Kops/s", "async Kops/s", "async/sync", "sync db/req", "async db/req")
-	t.Note = "db/req = trust-boundary doorbells per request; async links SEND(i)+RECV(i+1) into one chain across two streams"
+		"value B", "sync Kops/s", "async Kops/s", "async/sync", "sync db/req", "async db/req", "sync allocs/op", "async allocs/op")
+	t.Note = "db/req = trust-boundary doorbells per request; async links SEND(i)+RECV(i+1) into one chain across two streams; allocs/op = Go-heap allocations per request (host-side, not cycle-charged)"
 
 	for _, vlen := range []int{1024, 4096} {
-		syncTput, syncDB, err := ioSyncRun(ops, vlen)
+		syncTput, syncDB, syncAllocs, err := ioSyncRun(ops, vlen)
 		if err != nil {
 			return nil, err
 		}
-		asyncTput, asyncDB, err := ioAsyncRun(ops, vlen)
+		asyncTput, asyncDB, asyncAllocs, err := ioAsyncRun(ops, vlen)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(vlen, syncTput/1e3, asyncTput/1e3, asyncTput/syncTput, syncDB, asyncDB)
+		t.AddRow(vlen, syncTput/1e3, asyncTput/1e3, asyncTput/syncTput, syncDB, asyncDB, syncAllocs, asyncAllocs)
 	}
 
 	return &Result{
@@ -59,12 +59,12 @@ func runIOEngine(rc RunConfig) (*Result, error) {
 	}, nil
 }
 
-func ioSyncRun(ops, vlen int) (tput, doorbellsPerReq float64, err error) {
+func ioSyncRun(ops, vlen int) (tput, doorbellsPerReq, allocs float64, err error) {
 	v := enclaveEnv(0).withPool(2)
 	defer v.close()
 	eng, err := exitio.NewEngine(exitio.ModeRPCSync, v.pool)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	sock := netsim.NewSocket(v.plat, 1<<20)
 	defer sock.Close()
@@ -72,10 +72,14 @@ func ioSyncRun(ops, vlen int) (tput, doorbellsPerReq float64, err error) {
 	key := make([]byte, ioKeyBytes)
 	val := make([]byte, vlen)
 	respN := vlen + ioRespOverhead
+	// Ops are reused as pointers across iterations: boxing a struct op
+	// into the Op interface costs one heap copy per Push, a pointer none.
+	rcv := &exitio.Recv{Sock: sock, N: ioReqBytes}
+	snd := &exitio.Send{Sock: sock, N: respN}
 
 	serve := func() error {
 		sock.Deliver(key)
-		q.Push(exitio.Recv{Sock: sock, N: ioReqBytes})
+		q.Push(rcv)
 		if _, err := q.SubmitAndWait(v.th); err != nil {
 			return err
 		}
@@ -84,54 +88,65 @@ func ioSyncRun(ops, vlen int) (tput, doorbellsPerReq float64, err error) {
 		v.th.T.Charge(ioLookupCycles)
 		netsim.CryptoCost(v.th.T, v.plat.Model, respN)
 		v.th.Write(sock.UserBuf(), val)
-		q.Push(exitio.Send{Sock: sock, N: respN})
+		q.Push(snd)
 		_, err := q.SubmitAndWait(v.th)
 		return err
 	}
 
 	for i := 0; i < 64; i++ { // warm-up
 		if err := serve(); err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 	}
 	v.resetCounters()
 	st0 := eng.Stats()
+	m0 := allocsStart()
 	for i := 0; i < ops; i++ {
 		if err := serve(); err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 	}
 	st1 := eng.Stats()
 	tput = float64(ops) / v.plat.Model.Seconds(v.th.T.Cycles())
 	doorbellsPerReq = float64(st1.Doorbells-st0.Doorbells) / float64(ops)
-	return tput, doorbellsPerReq, nil
+	allocs = allocsPerOp(m0, ops)
+	return tput, doorbellsPerReq, allocs, nil
 }
 
-func ioAsyncRun(ops, vlen int) (tput, doorbellsPerReq float64, err error) {
+func ioAsyncRun(ops, vlen int) (tput, doorbellsPerReq, allocs float64, err error) {
 	v := enclaveEnv(0).withPool(2)
 	defer v.close()
 	eng, err := exitio.NewEngine(exitio.ModeRPCAsync, v.pool)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	type stream struct {
 		sock *netsim.Socket
 		q    *exitio.Queue
-	}
-	var streams [2]stream
-	for i := range streams {
-		streams[i] = stream{sock: netsim.NewSocket(v.plat, 1<<20), q: eng.NewQueue()}
-		defer streams[i].sock.Close()
+		rcv  *exitio.Recv
+		snd  *exitio.Send
 	}
 	key := make([]byte, ioKeyBytes)
 	val := make([]byte, vlen)
 	respN := vlen + ioRespOverhead
+	var streams [2]stream
+	for i := range streams {
+		sock := netsim.NewSocket(v.plat, 1<<20)
+		// Per-stream pointer ops, reused across iterations (a stream's
+		// ops are re-pushed only after its chain has been drained).
+		streams[i] = stream{
+			sock: sock, q: eng.NewQueue(),
+			rcv: &exitio.Recv{Sock: sock, N: ioReqBytes},
+			snd: &exitio.Send{Sock: sock, N: respN},
+		}
+		defer streams[i].sock.Close()
+	}
 
 	// prime stages RECV of each stream's first request.
 	prime := func() error {
 		for i := range streams {
 			streams[i].sock.Deliver(key)
-			streams[i].q.Push(exitio.Recv{Sock: streams[i].sock, N: ioReqBytes})
+			streams[i].q.Push(streams[i].rcv)
 			if err := streams[i].q.Submit(v.th); err != nil {
 				return err
 			}
@@ -152,10 +167,10 @@ func ioAsyncRun(ops, vlen int) (tput, doorbellsPerReq float64, err error) {
 		v.th.T.Charge(ioLookupCycles)
 		netsim.CryptoCost(v.th.T, v.plat.Model, respN)
 		v.th.Write(s.sock.UserBuf(), val)
-		s.q.Push(exitio.Send{Sock: s.sock, N: respN})
+		s.q.Push(s.snd)
 		if !last {
 			s.sock.Deliver(key)
-			s.q.PushLinked(exitio.Recv{Sock: s.sock, N: ioReqBytes})
+			s.q.PushLinked(s.rcv)
 		}
 		return s.q.Submit(v.th)
 	}
@@ -169,31 +184,33 @@ func ioAsyncRun(ops, vlen int) (tput, doorbellsPerReq float64, err error) {
 	}
 
 	if err := prime(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	for i := 0; i < 64; i++ { // warm-up
 		if err := serve(&streams[i%2], i >= 62); err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 	}
 	if err := drain(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	v.resetCounters()
 	st0 := eng.Stats()
+	m0 := allocsStart()
 	if err := prime(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	for i := 0; i < ops; i++ {
 		if err := serve(&streams[i%2], i >= ops-2); err != nil {
-			return 0, 0, err
+			return 0, 0, 0, err
 		}
 	}
 	if err := drain(); err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	st1 := eng.Stats()
 	tput = float64(ops) / v.plat.Model.Seconds(v.th.T.Cycles())
 	doorbellsPerReq = float64(st1.Doorbells-st0.Doorbells) / float64(ops)
-	return tput, doorbellsPerReq, nil
+	allocs = allocsPerOp(m0, ops)
+	return tput, doorbellsPerReq, allocs, nil
 }

@@ -28,9 +28,11 @@ package exitio
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"eleos/internal/rpc"
+	"eleos/internal/sgx"
 )
 
 // Mode selects how a submitted chain reaches the OS.
@@ -121,7 +123,43 @@ type Engine struct {
 	mode Mode
 	pool *rpc.Pool
 
+	// chainPool recycles chain descriptors (ops/results storage, the
+	// embedded future and the dispatch closure) across submissions, so
+	// the steady-state submit→dispatch→reap path allocates nothing.
+	chainPool sync.Pool
+
 	counters
+}
+
+// getChain takes a recycled chain descriptor (or builds the first few).
+// The dispatch closure is created once per chain object and survives
+// recycling: it reads c.ops/c.res at execution time, which Submit
+// reslices in place for every reuse.
+//
+//eleos:hotpath budget=0
+func (e *Engine) getChain() *chain {
+	c, _ := e.chainPool.Get().(*chain)
+	if c == nil {
+		//eleos:allow hotpath -- pool miss: warm-up allocations, amortized to zero in steady state
+		c = new(chain)
+		//eleos:allow hotpath -- closure built once per chain object, reused across recycles
+		c.exec = func(h *sgx.HostCtx) { execChain(h, c.ops, c.res) }
+	}
+	return c
+}
+
+// putChain recycles a settled chain. Op references are dropped so
+// caller buffers don't leak through the pool; slice capacity is kept.
+//
+//eleos:hotpath budget=0
+func (e *Engine) putChain(c *chain) {
+	for i := range c.ops {
+		c.ops[i] = sqe{}
+	}
+	c.ops = c.ops[:0]
+	c.res = c.res[:0]
+	c.fut = rpc.Future{}
+	e.chainPool.Put(c)
 }
 
 // NewEngine builds an engine. pool is required for the RPC modes and
@@ -145,7 +183,11 @@ func (e *Engine) Pool() *rpc.Pool { return e.pool }
 // submit and reap from that thread only (completion callbacks from the
 // workers synchronize through the queue's wake channel).
 func (e *Engine) NewQueue() *Queue {
-	return &Queue{eng: e, mode: e.mode, wake: make(chan struct{}, 1)}
+	q := &Queue{eng: e, mode: e.mode, wake: make(chan struct{}, 1)}
+	// The method value is bound once here: taking q.notifyOne per
+	// submission would allocate a closure on the hot path.
+	q.notify = q.notifyOne
+	return q
 }
 
 // Group is one tenant's slice of engine activity: queues opened through

@@ -246,3 +246,84 @@ func TestAsyncChargesAtMostSync(t *testing.T) {
 		t.Fatalf("async charged %d cycles > sync %d for the same workload", async, sync)
 	}
 }
+
+// The steady-state submit→dispatch→reap cycle recycles its chain
+// descriptors, CQE buffers and (in direct mode) runs the ops inline, so
+// a warm queue must not allocate per submission — that is the hotpath
+// budget=0 contract eleoslint enforces statically, checked dynamically
+// here.
+func TestSteadyStateSubmitReapAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; count is meaningless")
+	}
+	e, eng := newEnv(t, exitio.ModeDirect)
+	fs := fsim.NewFS(e.plat)
+	q := eng.NewQueue()
+	q.Push(exitio.Open{FS: fs, Name: "/warm"})
+	cqes, err := q.SubmitAndWait(e.th)
+	if err != nil || exitio.FirstErr(cqes) != nil {
+		t.Fatalf("open: %v %v", err, exitio.FirstErr(cqes))
+	}
+	fd := cqes[0].N
+	data := make([]byte, 256)
+	// Ops are reused across cycles as pointers: value receivers put *T in
+	// each op's method set too, and boxing a pointer into the Op
+	// interface does not allocate, whereas boxing the struct itself costs
+	// one heap copy per Push.
+	pw := &exitio.Pwrite{FS: fs, FD: fd, Off: 0, Data: data}
+	pr := &exitio.Pread{FS: fs, FD: fd, Off: 0, Buf: data}
+	cycle := func() {
+		q.Push(pw)
+		q.PushLinked(pr)
+		if got, err := q.SubmitAndWait(e.th); err != nil || exitio.FirstErr(got) != nil {
+			t.Fatalf("cycle: %v %v", err, exitio.FirstErr(got))
+		}
+	}
+	cycle() // warm the chain pool, staged slices and CQE double buffer
+	if avg := testing.AllocsPerRun(200, cycle); avg > 0 {
+		t.Fatalf("steady-state submit/reap allocates %v times per cycle, want 0", avg)
+	}
+}
+
+// The async dispatch path must be steady-state allocation-free too:
+// chains, futures, the pending FIFO and the CQE buffers all recycle.
+// This pins the pending-list regression where draining the queue
+// discarded the list's capacity and every subsequent submission
+// reallocated it.
+func TestSteadyStateAsyncAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; count is meaningless")
+	}
+	e, eng := newEnv(t, exitio.ModeRPCAsync)
+	fs := fsim.NewFS(e.plat)
+	q := eng.NewQueue()
+	q.Push(exitio.Open{FS: fs, Name: "/warm"})
+	cqes, err := q.SubmitAndWait(e.th)
+	if err != nil || exitio.FirstErr(cqes) != nil {
+		t.Fatalf("open: %v %v", err, exitio.FirstErr(cqes))
+	}
+	fd := cqes[0].N
+	data := make([]byte, 256)
+	pw := &exitio.Pwrite{FS: fs, FD: fd, Off: 0, Data: data}
+	pr := &exitio.Pread{FS: fs, FD: fd, Off: 0, Buf: data}
+	cycle := func() {
+		q.Push(pw)
+		q.PushLinked(pr)
+		if err := q.Submit(e.th); err != nil {
+			t.Fatal(err)
+		}
+		e.th.T.Charge(2000) // compute overlapping the in-flight chain
+		if got := q.WaitN(e.th, 2); exitio.FirstErr(got) != nil {
+			t.Fatalf("cycle: %v", exitio.FirstErr(got))
+		}
+	}
+	for i := 0; i < 8; i++ {
+		cycle() // warm the chain, request and buffer pools
+	}
+	// The rpc workers run on real goroutines, so tolerate stray runtime
+	// allocations (timer wheels, GC bookkeeping) — the regression this
+	// guards against costs a full 1.0 per cycle.
+	if avg := testing.AllocsPerRun(200, cycle); avg > 0.5 {
+		t.Fatalf("steady-state async submit/reap allocates %v times per cycle, want ~0", avg)
+	}
+}

@@ -42,11 +42,15 @@ type result struct {
 // chain is one in-flight linked submission: its ops, the worker-filled
 // results, and the future publishing them. res is written by the worker
 // before the future's done flag and read by the owner only after
-// observing it.
+// observing it. Chains are recycled through the engine's chainPool: the
+// future is embedded (filled in place via CallAsyncNotifyInto), ops and
+// res keep their capacity across reuses, and exec is the dispatch
+// closure built once per chain object.
 type chain struct {
-	fut *rpc.Future
-	ops []sqe
-	res []result
+	fut  rpc.Future
+	ops  []sqe
+	res  []result
+	exec func(*sgx.HostCtx)
 }
 
 // Queue is a per-thread submission/completion queue. The owning thread
@@ -65,10 +69,24 @@ type Queue struct {
 	// mode is the queue's current dispatch mode. It starts as the
 	// engine's default and may be changed between chains with SetMode —
 	// the live engine-mode flip the self-tuning controller drives.
-	mode    Mode
-	staged  []sqe
-	pending []*chain
-	ready   []CQE
+	mode   Mode
+	staged []sqe
+	// pending is the FIFO of in-flight chains. It is consumed through
+	// pendHead rather than by reslicing, so when the queue drains the
+	// slice rewinds to the start of its backing array and steady-state
+	// submissions append into retained capacity instead of allocating.
+	pending  []*chain
+	pendHead int
+	ready    []CQE
+	// spare is the second half of the reap double buffer: take hands
+	// out ready and starts filling spare, so steady-state reaping
+	// recycles two buffers instead of allocating one per cycle. The
+	// slice a reap returns is therefore only valid until the next
+	// Reap/WaitN/SubmitAndWait call on the queue.
+	spare []CQE
+	// notify is the bound q.notifyOne method value, created once at
+	// NewQueue so submissions don't allocate a closure per chain.
+	notify func()
 	// wake carries lossy completion tokens from notifyOne: capacity 1,
 	// non-blocking sends. Safe because the queue has a single reaper,
 	// which re-checks the head future after every token — a dropped
@@ -101,7 +119,7 @@ func (q *Queue) SetMode(th *sgx.Thread, m Mode) error {
 	if m.NeedsPool() && q.eng.pool == nil {
 		return fmt.Errorf("exitio: SetMode: %s dispatch requires a worker pool", m)
 	}
-	for len(q.pending) > 0 {
+	for q.pendLen() > 0 {
 		q.waitHead(th)
 	}
 	for drained := false; !drained; {
@@ -120,6 +138,8 @@ func (q *Queue) SetMode(th *sgx.Thread, m Mode) error {
 }
 
 // Push stages op as the start of a new chain.
+//
+//eleos:hotpath budget=0
 func (q *Queue) Push(op Op) { q.push(op, 0, false) }
 
 // PushTagged stages op with a caller-chosen tag echoed in its CQE.
@@ -134,10 +154,12 @@ func (q *Queue) PushLinked(op Op) { q.push(op, 0, true) }
 // PushLinkedTagged is PushLinked with a completion tag.
 func (q *Queue) PushLinkedTagged(op Op, tag uint64) { q.push(op, tag, true) }
 
+//eleos:hotpath budget=0
 func (q *Queue) push(op Op, tag uint64, link bool) {
 	if len(q.staged) == 0 {
 		link = false
 	}
+	//eleos:allow hotpath -- amortized: the staged list keeps its capacity across submits
 	q.staged = append(q.staged, sqe{op: op, tag: tag, link: link})
 }
 
@@ -147,7 +169,7 @@ func (q *Queue) Staged() int { return len(q.staged) }
 // InFlight returns the number of submitted ops not yet reaped.
 func (q *Queue) InFlight() int {
 	n := 0
-	for _, c := range q.pending {
+	for _, c := range q.pending[q.pendHead:] {
 		n += len(c.ops)
 	}
 	return n
@@ -158,6 +180,7 @@ func (q *Queue) InFlight() int {
 // records per-op results. An op error cancels the rest of its chain.
 //
 //eleos:untrusted
+//eleos:hotpath budget=0
 func execChain(h *sgx.HostCtx, ops []sqe, res []result) {
 	failed := false
 	for i := range ops {
@@ -182,6 +205,8 @@ func execChain(h *sgx.HostCtx, ops []sqe, res []result) {
 // thread (a host thread in ModeDirect). On an rpc pool error the
 // already-dispatched chains keep their completions and the remaining
 // staged chains are dropped.
+//
+//eleos:hotpath budget=0
 func (q *Queue) Submit(th *sgx.Thread) error {
 	staged := q.staged
 	q.staged = q.staged[:0]
@@ -192,40 +217,55 @@ func (q *Queue) Submit(th *sgx.Thread) error {
 		}
 		// The chain keeps its own copy: q.staged's backing array is
 		// reused by the next Push while async chains are in flight.
-		ops := make([]sqe, end-start)
-		copy(ops, staged[start:end])
+		// Chains come from the engine pool, so in steady state these
+		// reslices reuse recycled capacity and allocate nothing.
+		c := q.eng.getChain()
+		if cap(c.ops) < end-start {
+			//eleos:allow hotpath -- chain warm-up: capacity is reused once the chain recycles
+			c.ops = make([]sqe, end-start)
+		} else {
+			c.ops = c.ops[:end-start]
+		}
+		copy(c.ops, staged[start:end])
+		if cap(c.res) < len(c.ops) {
+			//eleos:allow hotpath -- chain warm-up: capacity is reused once the chain recycles
+			c.res = make([]result, len(c.ops))
+		} else {
+			c.res = c.res[:len(c.ops)]
+		}
 		start = end
 
-		c := &chain{ops: ops, res: make([]result, len(ops))}
 		q.eng.doorbells.Add(1)
 		q.eng.chains.Add(1)
-		q.eng.ops.Add(uint64(len(ops)))
-		q.eng.linked.Add(uint64(len(ops) - 1))
+		q.eng.ops.Add(uint64(len(c.ops)))
+		q.eng.linked.Add(uint64(len(c.ops) - 1))
 		if q.grp != nil {
 			q.grp.doorbells.Add(1)
 			q.grp.chains.Add(1)
-			q.grp.ops.Add(uint64(len(ops)))
-			q.grp.linked.Add(uint64(len(ops) - 1))
+			q.grp.ops.Add(uint64(len(c.ops)))
+			q.grp.linked.Add(uint64(len(c.ops) - 1))
 		}
 		switch q.mode {
 		case ModeDirect:
 			execChain(th.HostContext(), c.ops, c.res)
 			q.complete(c)
 		case ModeOCall:
-			th.OCall(func(h *sgx.HostCtx) { execChain(h, c.ops, c.res) })
+			th.OCall(c.exec)
 			q.complete(c)
 		case ModeRPCSync:
-			if err := q.eng.pool.Call(th, func(h *sgx.HostCtx) { execChain(h, c.ops, c.res) }); err != nil {
+			if err := q.eng.pool.Call(th, c.exec); err != nil {
+				q.eng.putChain(c)
+				//eleos:allow hotpath -- cold error path: the pool refused the chain
 				return fmt.Errorf("exitio: submit: %w", err)
 			}
 			q.complete(c)
 		case ModeRPCAsync:
-			fut, err := q.eng.pool.CallAsyncNotify(th,
-				func(h *sgx.HostCtx) { execChain(h, c.ops, c.res) }, q.notifyOne)
-			if err != nil {
+			if err := q.eng.pool.CallAsyncNotifyInto(&c.fut, th, c.exec, q.notify); err != nil {
+				q.eng.putChain(c)
+				//eleos:allow hotpath -- cold error path: the pool refused the chain
 				return fmt.Errorf("exitio: submit: %w", err)
 			}
-			c.fut = fut
+			//eleos:allow hotpath -- amortized: the pending list keeps its capacity across reaps
 			q.pending = append(q.pending, c)
 		}
 	}
@@ -234,6 +274,8 @@ func (q *Queue) Submit(th *sgx.Thread) error {
 
 // notifyOne runs on an untrusted worker right after a chain's future
 // is published: a lossy, non-blocking wake token for the reaper.
+//
+//eleos:hotpath budget=0
 func (q *Queue) notifyOne() {
 	select {
 	case q.wake <- struct{}{}:
@@ -241,9 +283,13 @@ func (q *Queue) notifyOne() {
 	}
 }
 
-// complete moves a finished chain's results onto the completion list.
+// complete moves a finished chain's results onto the completion list
+// and recycles the chain.
+//
+//eleos:hotpath budget=0
 func (q *Queue) complete(c *chain) {
 	for i := range c.ops {
+		//eleos:allow hotpath -- amortized: the ready list alternates two retained buffers
 		q.ready = append(q.ready, CQE{
 			Kind: c.ops[i].op.Kind(),
 			Tag:  c.ops[i].tag,
@@ -251,15 +297,29 @@ func (q *Queue) complete(c *chain) {
 			Err:  c.res[i].err,
 		})
 	}
+	q.eng.putChain(c)
 }
+
+// pendLen returns the number of in-flight chains.
+//
+//eleos:hotpath budget=0
+func (q *Queue) pendLen() int { return len(q.pending) - q.pendHead }
 
 // retireHead settles the oldest pending chain: Wait charges the
 // residual latency the owner's compute did not hide (plus the
 // completion poll), and the chain's CQEs become reapable.
+//
+//eleos:hotpath budget=0
 func (q *Queue) retireHead(th *sgx.Thread) {
-	c := q.pending[0]
-	q.pending[0] = nil
-	q.pending = q.pending[1:]
+	c := q.pending[q.pendHead]
+	q.pending[q.pendHead] = nil
+	q.pendHead++
+	if q.pendHead == len(q.pending) {
+		// Drained: rewind to the start of the backing array so the
+		// capacity is reused by the next submission.
+		q.pending = q.pending[:0]
+		q.pendHead = 0
+	}
 	before := th.T.Cycles()
 	c.fut.Wait(th)
 	stall := th.T.Cycles() - before
@@ -272,8 +332,10 @@ func (q *Queue) retireHead(th *sgx.Thread) {
 
 // collect retires every already-completed chain at the head of the
 // pending list, preserving submission order.
+//
+//eleos:hotpath budget=0
 func (q *Queue) collect(th *sgx.Thread) {
-	for len(q.pending) > 0 && q.pending[0].fut.Done() {
+	for q.pendLen() > 0 && q.pending[q.pendHead].fut.Done() {
 		q.retireHead(th)
 	}
 }
@@ -283,24 +345,34 @@ func (q *Queue) collect(th *sgx.Thread) {
 // future is re-checked after every token; the completion callback
 // publishes the done flag before poking the channel, so a blocked
 // reaper is always woken.
+//
+//eleos:hotpath budget=0
 func (q *Queue) waitHead(th *sgx.Thread) {
-	c := q.pending[0]
+	c := q.pending[q.pendHead]
 	for !c.fut.Done() {
 		<-q.wake
 	}
 	q.retireHead(th)
 }
 
-// take hands the accumulated completions to the caller.
+// take hands the accumulated completions to the caller and swaps in
+// the spare buffer, so the next completions reuse retained capacity
+// instead of allocating a fresh list per reap cycle. The returned
+// slice is valid until the caller's next reap on this queue.
+//
+//eleos:hotpath budget=0
 func (q *Queue) take() []CQE {
 	out := q.ready
-	q.ready = nil
+	q.ready = q.spare[:0]
+	q.spare = out
 	return out
 }
 
 // Reap returns the completions available right now, in submission
 // order, without blocking. In the synchronous modes everything
 // submitted is already complete.
+//
+//eleos:hotpath budget=0
 func (q *Queue) Reap(th *sgx.Thread) []CQE {
 	q.collect(th)
 	return q.take()
@@ -308,9 +380,11 @@ func (q *Queue) Reap(th *sgx.Thread) []CQE {
 
 // WaitN blocks until at least n completions are available (or nothing
 // is in flight), then returns all of them in submission order.
+//
+//eleos:hotpath budget=0
 func (q *Queue) WaitN(th *sgx.Thread, n int) []CQE {
 	q.collect(th)
-	for len(q.ready) < n && len(q.pending) > 0 {
+	for len(q.ready) < n && q.pendLen() > 0 {
 		q.waitHead(th)
 		q.collect(th)
 	}
@@ -320,11 +394,13 @@ func (q *Queue) WaitN(th *sgx.Thread, n int) []CQE {
 // SubmitAndWait submits everything staged and waits for every in-flight
 // chain, returning all completions in submission order — the
 // convenience path for request/response loops.
+//
+//eleos:hotpath budget=0
 func (q *Queue) SubmitAndWait(th *sgx.Thread) ([]CQE, error) {
 	if err := q.Submit(th); err != nil {
 		return nil, err
 	}
-	for len(q.pending) > 0 {
+	for q.pendLen() > 0 {
 		q.waitHead(th)
 	}
 	return q.take(), nil

@@ -1,0 +1,492 @@
+// Package atomicfield enforces consistent atomic access to shared
+// fields — the static precondition for the lock-free doorbell-path work
+// (ROADMAP item 3). A "lock-free" ring is only lock-free if every
+// access to its shared words is atomic: one plain load mixed in and the
+// race detector may stay silent (the interleaving never fires in tests)
+// while the real machine tears the read. The analyzer makes the
+// invariant structural instead of conventional.
+//
+// The pass is whole-module and field-granular: facts are aggregated
+// across every package first (which struct fields and package-level
+// variables are ever accessed through sync/atomic), then each package
+// is checked against the aggregate, so a field atomically accessed in
+// package A and plainly accessed in package B is still caught. Three
+// rules:
+//
+//   - plainaccess: a field or package-level variable that is anywhere
+//     passed by address to a sync/atomic function (atomic.AddUint64,
+//     atomic.LoadPointer, ...) must never be read or written plainly —
+//     every access to an atomics-published word must be atomic. Taking
+//     its address outside a sync/atomic call argument is flagged too
+//     (the alias escapes the discipline).
+//   - atomiccopy: a value of a struct type containing typed atomics
+//     (atomic.Uint64, atomic.Value, ... — directly, or transitively
+//     through embedded structs and arrays) must not be copied: by
+//     assignment, by being passed as a call argument, or by a range
+//     over a slice/array/map of such values. A copy forks the atomic's
+//     state and silently decouples the two copies' readers.
+//   - valuetype: an atomic.Value whose Store/Swap/CompareAndSwap sites
+//     disagree on the stored concrete type panics at runtime
+//     ("inconsistently typed value"); all stores into one Value must
+//     statically agree. (Typed atomic.Pointer[T] is compiler-enforced
+//     and needs no check.)
+//
+// The analysis is static: values reached through interface indirection
+// or function-typed escape hatches are not tracked, same documented
+// limit as the trustboundary pass. Suppress deliberate exceptions with
+// "//eleos:allow atomicfield -- reason" (or the fine-grained category).
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"eleos/internal/lint/analysis"
+	"eleos/internal/lint/load"
+)
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "enforce consistent atomic access: no plain reads/writes of atomically accessed fields, no copies of atomic-bearing structs, no mixed-type atomic.Value stores",
+	Run:  run,
+}
+
+// valueStore is one observed Store/Swap/CompareAndSwap into an
+// atomic.Value, with the concrete type it stored.
+type valueStore struct {
+	pos     token.Pos
+	pkgPath string
+	typ     string
+}
+
+// facts is the program-wide aggregate every per-package pass checks
+// against.
+type facts struct {
+	// atomicObj maps each field or package-level variable passed by
+	// address to a sync/atomic function to one example site (for the
+	// message).
+	atomicObj map[types.Object]token.Pos
+	// sanctioned records the &x.f (or &v) operand positions inside
+	// sync/atomic call arguments — the accesses that ARE the atomic
+	// discipline and must not be flagged.
+	sanctioned map[token.Pos]bool
+	// valueStores groups the observed stores per atomic.Value object.
+	valueStores map[types.Object][]valueStore
+	// valueNames renders each tracked atomic.Value object for messages.
+	valueNames map[types.Object]string
+}
+
+var (
+	factsMu    sync.Mutex
+	factsCache = map[*load.Program]*facts{}
+)
+
+func run(pass *analysis.Pass) error {
+	f := factsFor(pass.Prog)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, f, fd.Body)
+		}
+	}
+	checkValueStores(pass, f)
+	return nil
+}
+
+// checkBody flags plain accesses of atomically accessed objects and
+// copies of atomic-bearing struct values in one function body.
+func checkBody(pass *analysis.Pass, f *facts, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	// writes collects the identifiers/selectors in a write position
+	// (assignment LHS, ++/--), so the message can say read vs write.
+	writes := map[ast.Expr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				writes[ast.Unparen(lhs)] = true
+			}
+		case *ast.IncDecStmt:
+			writes[ast.Unparen(n.X)] = true
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj := selectedObj(info, n)
+			if obj == nil {
+				return true
+			}
+			reportPlain(pass, f, obj, n.Sel.Pos(), writes[n])
+		case *ast.Ident:
+			obj, ok := info.Uses[n].(*types.Var)
+			if !ok || obj.Pkg() == nil || obj.Parent() != obj.Pkg().Scope() {
+				return true
+			}
+			reportPlain(pass, f, obj, n.Pos(), writes[n])
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				checkCopyExpr(pass, info, rhs, "assignment copies")
+			}
+		case *ast.CallExpr:
+			if isSyncAtomicCall(info, n) {
+				return true // its &arg is the sanctioned access
+			}
+			for _, arg := range n.Args {
+				checkCopyExpr(pass, info, arg, "call passes by value")
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if t := info.TypeOf(n.Value); t != nil && containsAtomic(t) {
+					pass.Report(n.Value.Pos(), "atomiccopy",
+						"range copies %s, which contains atomic fields; iterate by index or over pointers",
+						typeShort(t))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				checkCopyExpr(pass, info, res, "return copies")
+			}
+		}
+		return true
+	})
+}
+
+// reportPlain flags a non-sanctioned use of an atomically accessed
+// object.
+func reportPlain(pass *analysis.Pass, f *facts, obj types.Object, pos token.Pos, write bool) {
+	if _, ok := f.atomicObj[obj]; !ok || f.sanctioned[pos] {
+		return
+	}
+	kind := "read"
+	if write {
+		kind = "write"
+	}
+	pass.Report(pos, "plainaccess",
+		"plain %s of %s, which is accessed with sync/atomic at %s; every access must be atomic",
+		kind, objName(obj), pass.Fset.Position(f.atomicObj[obj]))
+}
+
+// checkCopyExpr flags expr when evaluating it copies a value of a
+// struct type that contains typed atomics. Composite literals and call
+// results are construction, not copies; everything else that yields
+// such a value by loading it (a variable, a field selection, a
+// dereference, an index) is a copy.
+func checkCopyExpr(pass *analysis.Pass, info *types.Info, expr ast.Expr, how string) {
+	e := ast.Unparen(expr)
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil || !tv.IsValue() {
+		return
+	}
+	// Addressed or pointer-typed uses are fine; only value copies fork
+	// the atomics.
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if containsAtomic(tv.Type) {
+		pass.Report(e.Pos(), "atomiccopy",
+			"%s %s, which contains atomic fields; pass a pointer instead",
+			how, typeShort(tv.Type))
+	}
+}
+
+// checkValueStores reports this package's share of the mixed-type
+// atomic.Value stores aggregated across the module.
+func checkValueStores(pass *analysis.Pass, f *facts) {
+	objs := make([]types.Object, 0, len(f.valueStores))
+	for obj := range f.valueStores {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return f.valueNames[objs[i]] < f.valueNames[objs[j]] })
+	for _, obj := range objs {
+		stores := f.valueStores[obj]
+		seen := map[string]bool{}
+		var kinds []string
+		for _, s := range stores {
+			if !seen[s.typ] {
+				seen[s.typ] = true
+				kinds = append(kinds, s.typ)
+			}
+		}
+		if len(kinds) < 2 {
+			continue
+		}
+		for _, s := range stores {
+			if s.pkgPath != pass.Pkg.PkgPath {
+				continue
+			}
+			others := make([]string, 0, len(kinds)-1)
+			for _, k := range kinds {
+				if k != s.typ {
+					others = append(others, k)
+				}
+			}
+			pass.Report(s.pos, "valuetype",
+				"stores %s into atomic.Value %s, which elsewhere stores %s; mixed concrete types panic at runtime",
+				s.typ, f.valueNames[obj], strings.Join(others, ", "))
+		}
+	}
+}
+
+func factsFor(prog *load.Program) *facts {
+	factsMu.Lock()
+	defer factsMu.Unlock()
+	if f, ok := factsCache[prog]; ok {
+		return f
+	}
+	f := build(prog)
+	factsCache[prog] = f
+	return f
+}
+
+// build aggregates the module-wide facts: which objects are atomically
+// accessed, where the sanctioned accesses sit, and what each
+// atomic.Value stores.
+func build(prog *load.Program) *facts {
+	f := &facts{
+		atomicObj:   map[types.Object]token.Pos{},
+		sanctioned:  map[token.Pos]bool{},
+		valueStores: map[types.Object][]valueStore{},
+		valueNames:  map[types.Object]string{},
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isSyncAtomicCall(pkg.Info, call) {
+					recordAtomicArgs(pkg.Info, call, f)
+					return true
+				}
+				recordValueStore(pkg, call, f)
+				return true
+			})
+		}
+	}
+	return f
+}
+
+// recordAtomicArgs marks every &field / &var argument of a sync/atomic
+// function call as atomically accessed, and the access itself as
+// sanctioned.
+func recordAtomicArgs(info *types.Info, call *ast.CallExpr, f *facts) {
+	for _, arg := range call.Args {
+		un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		switch e := ast.Unparen(un.X).(type) {
+		case *ast.SelectorExpr:
+			if obj := selectedObj(info, e); obj != nil {
+				if _, seen := f.atomicObj[obj]; !seen {
+					f.atomicObj[obj] = e.Sel.Pos()
+				}
+				f.sanctioned[e.Sel.Pos()] = true
+			}
+		case *ast.Ident:
+			if obj, ok := info.Uses[e].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+				if _, seen := f.atomicObj[obj]; !seen {
+					f.atomicObj[obj] = e.Pos()
+				}
+				f.sanctioned[e.Pos()] = true
+			}
+		}
+	}
+}
+
+// recordValueStore records the concrete type stored by an
+// atomic.Value.Store/Swap/CompareAndSwap call whose receiver resolves
+// to a trackable field or package-level variable.
+func recordValueStore(pkg *load.Package, call *ast.CallExpr, f *facts) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, _ := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return
+	}
+	if r := recvNamed(fn); r != "Value" {
+		return
+	}
+	var newVal ast.Expr
+	switch fn.Name() {
+	case "Store", "Swap":
+		if len(call.Args) != 1 {
+			return
+		}
+		newVal = call.Args[0]
+	case "CompareAndSwap":
+		if len(call.Args) != 2 {
+			return
+		}
+		newVal = call.Args[1]
+	default:
+		return
+	}
+	obj := receiverObj(pkg.Info, sel.X)
+	if obj == nil {
+		return
+	}
+	tv, ok := pkg.Info.Types[newVal]
+	if !ok || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if types.IsInterface(t.Underlying()) {
+		return // dynamic type unknown; out of static scope
+	}
+	f.valueStores[obj] = append(f.valueStores[obj], valueStore{
+		pos:     newVal.Pos(),
+		pkgPath: pkg.PkgPath,
+		typ:     typeShort(t),
+	})
+	if _, ok := f.valueNames[obj]; !ok {
+		f.valueNames[obj] = objName(obj)
+	}
+}
+
+// receiverObj resolves the receiver expression of a method call to the
+// field or package-level variable it denotes (v.Store → v, s.val.Store
+// → the val field), or nil for locals and unresolvable shapes.
+func receiverObj(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.SelectorExpr:
+		return selectedObj(info, e)
+	case *ast.Ident:
+		if obj, ok := info.Uses[e].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj
+		}
+	}
+	return nil
+}
+
+// selectedObj resolves a selector to the struct field it selects, or a
+// package-qualified variable (pkg.v), or nil.
+func selectedObj(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	if s := info.Selections[sel]; s != nil {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	if obj, ok := info.Uses[sel.Sel].(*types.Var); ok && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		return obj
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports whether call invokes a plain function of
+// sync/atomic (atomic.AddUint64 and friends — not the typed methods).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.StaticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// containsAtomic reports whether t (a struct, or an array of structs)
+// transitively contains a sync/atomic typed value as a field.
+func containsAtomic(t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+				return true
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// recvNamed returns the bare receiver type name of a method ("" for
+// plain functions).
+func recvNamed(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// objName renders a tracked object as pkg.Type.field or pkg.var.
+func objName(obj types.Object) string {
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		if owner := fieldOwner(v); owner != "" {
+			return v.Pkg().Name() + "." + owner + "." + v.Name()
+		}
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// fieldOwner finds the named struct type declaring field v, scanning
+// the package scope (good enough for messages; "" when anonymous).
+func fieldOwner(v *types.Var) string {
+	scope := v.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == v {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// typeShort renders a type without its package path qualifiers.
+func typeShort(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,13 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"eleos/internal/lint/analysistest"
+	"eleos/internal/lint/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer,
+		"counters", "crosspkg")
+}

@@ -1,0 +1,134 @@
+// Package counters is testdata for the atomicfield analyzer: mixed
+// atomic/plain accesses, copies of atomic-bearing structs, and
+// mixed-type atomic.Value stores.
+package counters
+
+import "sync/atomic"
+
+// Stats mixes a function-style atomic field, a typed atomic and a
+// plain field.
+type Stats struct {
+	hits   uint64 // accessed via atomic.AddUint64 → atomics-only
+	misses uint64 // never atomic → free-for-all
+	live   atomic.Int64
+}
+
+// Hit is the sanctioned atomic path.
+func (s *Stats) Hit() { atomic.AddUint64(&s.hits, 1) }
+
+// Snapshot mixes in a plain read of the atomically accessed field.
+func (s *Stats) Snapshot() uint64 {
+	return s.hits // want "plain read of counters.Stats.hits, which is accessed with sync/atomic"
+}
+
+// Reset writes the field plainly.
+func (s *Stats) Reset() {
+	s.hits = 0 // want "plain write of counters.Stats.hits"
+	s.misses = 0
+}
+
+// Miss touches the never-atomic field: clean.
+func (s *Stats) Miss() { s.misses++ }
+
+// LoadHits is another sanctioned access.
+func (s *Stats) LoadHits() uint64 { return atomic.LoadUint64(&s.hits) }
+
+// seq is a package-level variable published through sync/atomic.
+var seq uint64
+
+// Next is the sanctioned bump.
+func Next() uint64 { return atomic.AddUint64(&seq, 1) }
+
+// Peek reads it plainly.
+func Peek() uint64 {
+	return seq // want "plain read of counters.seq"
+}
+
+// Clone copies a Stats value, forking its typed atomic.
+func Clone(s *Stats) Stats {
+	return *s // want "return copies counters\\.Stats, which contains atomic fields"
+}
+
+// Use consumes a copy.
+func Use(s Stats) {}
+
+// Feed passes a Stats value as an argument.
+func Feed(s *Stats) {
+	Use(*s) // want "call passes by value counters\\.Stats, which contains atomic fields"
+}
+
+// Assign copies by assignment.
+func Assign(s *Stats) {
+	local := *s // want "assignment copies counters\\.Stats, which contains atomic fields"
+	_ = local.misses
+}
+
+// Iterate ranges over values of an atomic-bearing struct.
+func Iterate(all []Stats) {
+	for _, s := range all { // want "range copies counters\\.Stats, which contains atomic fields"
+		_ = s.misses
+	}
+}
+
+// IterateByIndex is the clean spelling.
+func IterateByIndex(all []Stats) {
+	for i := range all {
+		_ = all[i].LoadHits()
+	}
+}
+
+// ByPointer moves pointers around: clean.
+func ByPointer(s *Stats) *Stats { return s }
+
+// wrapper embeds Stats; copying it is just as wrong.
+type wrapper struct {
+	inner Stats
+	tag   string
+}
+
+// CloneWrapper copies transitively.
+func CloneWrapper(w *wrapper) wrapper {
+	return *w // want "return copies counters\\.wrapper, which contains atomic fields"
+}
+
+// state is an atomic.Value holding the current config; two stores
+// disagree on the concrete type.
+type config struct{ n int }
+
+type box struct{ state atomic.Value }
+
+// StoreConfig stores the intended type.
+func (b *box) StoreConfig(c *config) {
+	b.state.Store(c) // want "stores \\*counters\\.config into atomic.Value counters.box.state, which elsewhere stores string"
+}
+
+// StoreName stores a different one.
+func (b *box) StoreName(name string) {
+	b.state.Store(name) // want "stores string into atomic.Value counters.box.state, which elsewhere stores \\*counters\\.config"
+}
+
+// consistent always stores the same type: clean.
+var consistent atomic.Value
+
+// StoreInt is one of two agreeing stores.
+func StoreInt(n int) { consistent.Store(n) }
+
+// SwapInt agrees with StoreInt.
+func SwapInt(n int) { _ = consistent.Swap(n) }
+
+// Shared is module-visible state: Word is atomically published here
+// and (wrongly) plainly read in the crosspkg testdata package, proving
+// the facts aggregate across packages.
+type Shared struct {
+	Word uint64
+	live atomic.Int64
+}
+
+// Publish is the sanctioned atomic store.
+func Publish(s *Shared) { atomic.StoreUint64(&s.Word, 1) }
+
+// Suppressed demonstrates //eleos:allow on a deliberate plain read.
+func (s *Stats) Suppressed() uint64 {
+	//eleos:allow plainaccess -- read under stop-the-world, no concurrent writers
+	return s.hits
+}

@@ -1,0 +1,18 @@
+// Package crosspkg is testdata for the atomicfield analyzer's
+// whole-module aggregation: it never calls sync/atomic itself, yet its
+// plain accesses of counters' atomically published state are still
+// flagged — the facts come from the whole module, not the package
+// under analysis.
+package crosspkg
+
+import "counters"
+
+// Leak reads an atomically accessed field plainly from another package.
+func Leak(s *counters.Shared) uint64 {
+	return s.Word // want "plain read of counters.Shared.Word, which is accessed with sync/atomic"
+}
+
+// Fork copies the atomic-bearing struct across the package boundary.
+func Fork(s *counters.Shared) counters.Shared {
+	return *s // want "return copies counters.Shared, which contains atomic fields"
+}

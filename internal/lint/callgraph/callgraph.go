@@ -1,0 +1,105 @@
+// Package callgraph builds the whole-program static call graph the
+// eleoslint analyzers share. It began life inside the trustboundary
+// analyzer; the atomicfield and hotpath passes need the same view —
+// every statically resolvable call edge, plus the mapping from a
+// *types.Func back to its declaration so interprocedural walks can
+// descend into callee bodies across package boundaries.
+//
+// The graph is static in the same sense as the analyzers that consume
+// it: calls through interface methods and function values are not
+// resolved (each analyzer documents its own escape hatch), and calls
+// inside function literals are attributed to the enclosing declaration
+// — a closure runs on behalf of its creator.
+//
+// Graphs are cached per loaded Program, so the per-package analyzer
+// passes share one construction.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+
+	"eleos/internal/lint/analysis"
+	"eleos/internal/lint/load"
+)
+
+// Edge is one statically resolved call site.
+type Edge struct {
+	Callee *types.Func
+	Pos    token.Pos
+}
+
+// Decl locates one function declaration in the loaded program.
+type Decl struct {
+	Pkg  *load.Package
+	Decl *ast.FuncDecl
+}
+
+// Graph is the program-wide call graph.
+type Graph struct {
+	// Out maps each declared function to its outgoing call edges, in
+	// source order.
+	Out map[*types.Func][]Edge
+	// In maps each function to the functions that call it.
+	In map[*types.Func][]*types.Func
+	// Decls maps each declared function to its declaration site, so
+	// interprocedural analyses can walk callee bodies.
+	Decls map[*types.Func]Decl
+}
+
+var (
+	mu    sync.Mutex
+	cache = map[*load.Program]*Graph{}
+)
+
+// For returns the (cached) call graph of prog.
+func For(prog *load.Program) *Graph {
+	mu.Lock()
+	defer mu.Unlock()
+	if g, ok := cache[prog]; ok {
+		return g
+	}
+	g := build(prog)
+	cache[prog] = g
+	return g
+}
+
+func build(prog *load.Program) *Graph {
+	g := &Graph{
+		Out:   map[*types.Func][]Edge{},
+		In:    map[*types.Func][]*types.Func{},
+		Decls: map[*types.Func]Decl{},
+	}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				g.Decls[obj] = Decl{Pkg: pkg, Decl: fd}
+				if fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := analysis.StaticCallee(pkg.Info, call); callee != nil {
+						g.Out[obj] = append(g.Out[obj], Edge{Callee: callee, Pos: call.Lparen})
+						g.In[callee] = append(g.In[callee], obj)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}

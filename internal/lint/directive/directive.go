@@ -13,6 +13,10 @@
 //	//eleos:service NAME   — code belongs to the named service of a
 //	//	                     multi-service enclave; reaching another
 //	//	                     service's code or data requires CrossCall
+//	//eleos:hotpath budget=N — the function is on a doorbell-latency
+//	//	                     path; its worst-case heap allocations per
+//	//	                     invocation (including intra-module callees)
+//	//	                     must not exceed N
 //	//eleos:allow CHECK -- reason — suppress CHECK on the next line
 //
 // Trust-domain directives appear in package doc comments (setting the
@@ -70,6 +74,13 @@ type Set struct {
 	HasLockRank   bool
 	// Service is the //eleos:service name, "" when unannotated.
 	Service string
+	// HotPath is true when an //eleos:hotpath directive is present;
+	// HotBudget/HasHotBudget carry its parsed budget=N argument (a
+	// present directive with a malformed budget leaves HasHotBudget
+	// false, which the hotpath analyzer reports).
+	HotPath      bool
+	HotBudget    int
+	HasHotBudget bool
 }
 
 // Merge folds other into s; other's domain wins when both are set.
@@ -84,6 +95,10 @@ func (s *Set) Merge(other Set) {
 	}
 	if other.Service != "" {
 		s.Service = other.Service
+	}
+	if other.HotPath {
+		s.HotPath = true
+		s.HotBudget, s.HasHotBudget = other.HotBudget, other.HasHotBudget
 	}
 }
 
@@ -118,6 +133,15 @@ func Parse(groups ...*ast.CommentGroup) Set {
 			case "service":
 				if f := strings.Fields(arg); len(f) > 0 {
 					s.Service = f[0]
+				}
+			case "hotpath":
+				s.HotPath = true
+				for _, field := range strings.Fields(arg) {
+					if rest, ok := strings.CutPrefix(field, "budget="); ok {
+						if n, err := strconv.Atoi(rest); err == nil && n >= 0 {
+							s.HotBudget, s.HasHotBudget = n, true
+						}
+					}
 				}
 			}
 		}

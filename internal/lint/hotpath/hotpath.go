@@ -1,0 +1,555 @@
+// Package hotpath enforces per-function worst-case heap-allocation
+// budgets on the exit-less fast paths. Eleos's argument is latency: an
+// enclave exit costs ~9,100 cycles, so the in-enclave doorbell path
+// must never stall — and in Go the stealthiest stall is an allocation
+// (GC assist, heap lock, cache pollution) hiding behind an innocent
+// composite literal. A function declares its budget with
+//
+//	//eleos:hotpath budget=N
+//
+// and the analyzer statically bounds its worst-case allocations per
+// invocation, failing when the bound exceeds N.
+//
+// Counted allocation sites: new(T); &CompositeLit; slice and map
+// composite literals; make of any kind; append (assumed to grow —
+// suppress amortized growth with //eleos:allow); function literals
+// (closure allocation, with the body's sites included — the closure is
+// assumed to run); calls into the fmt package; the variadic argument
+// slice of a call supplying variadic arguments; interface conversion of
+// a non-pointer, non-constant argument at a call site; non-constant
+// string concatenation; string↔[]byte/[]rune conversions.
+//
+// The walk is branch-aware and interprocedural: if/switch/select arms
+// contribute the maximum over their branches, loop bodies are counted
+// once (a loop on a hot path is the author's explicit choice), and
+// statically resolved calls to functions declared in this module add
+// the callee's own worst-case count, computed transitively over the
+// shared internal/lint/callgraph graph (cycles contribute once). A
+// callee that declares its own hotpath budget contributes its declared
+// budget instead of a recount — budgets compose, and the callee's own
+// pass holds it to its declaration.
+//
+// Static limits, as elsewhere in eleoslint: calls through interfaces
+// and function values are not resolved, and non-fmt standard-library
+// callees are assumed allocation-free; the budget bounds what the
+// module's own code does. An //eleos:allow hotpath (or hotalloc) on or
+// directly above a site excludes that site from every caller's count.
+// A hotpath directive whose budget is missing or malformed is itself
+// reported.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+
+	"eleos/internal/lint/analysis"
+	"eleos/internal/lint/callgraph"
+	"eleos/internal/lint/directive"
+	"eleos/internal/lint/load"
+)
+
+// Analyzer is the hotpath analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "bound worst-case heap allocations of //eleos:hotpath budget=N functions",
+	Run:  run,
+}
+
+// site is one counted allocation, for reporting.
+type site struct {
+	pos token.Pos
+	msg string
+	n   int
+}
+
+// state is the program-wide costing state shared by the per-package
+// passes.
+type state struct {
+	fset  *token.FileSet
+	graph *callgraph.Graph
+	// set holds each declared function's merged directives.
+	set map[*types.Func]directive.Set
+	// allows indexes well-formed //eleos:allow directives by file, line
+	// and check name, across the whole module.
+	allows map[allowKey]bool
+	// cost memoizes each function's worst-case allocation count.
+	cost map[*types.Func]int
+	// onStack guards recursion: a cycle's back edge contributes 0, so
+	// each function on the cycle is counted once.
+	onStack map[*types.Func]bool
+}
+
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+var (
+	stateMu    sync.Mutex
+	stateCache = map[*load.Program]*state{}
+)
+
+func run(pass *analysis.Pass) error {
+	st := stateFor(pass.Prog)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			set := st.set[obj]
+			if !set.HotPath {
+				continue
+			}
+			if !set.HasHotBudget {
+				pass.Report(fd.Name.Pos(), "badbudget",
+					"hotpath directive on %s is missing a budget=N argument", shortName(obj))
+				continue
+			}
+			if fd.Body == nil {
+				continue
+			}
+			var sites []site
+			w := &walker{st: st, pkg: pkgOf(st, obj), collect: &sites}
+			total := w.stmts(fd.Body.List)
+			if total <= set.HotBudget {
+				continue
+			}
+			pass.Report(fd.Name.Pos(), "hotbudget",
+				"hot-path function %s: worst-case %d heap allocations exceed budget %d",
+				shortName(obj), total, set.HotBudget)
+			for _, s := range sites {
+				pass.Report(s.pos, "hotalloc", "%s (hot path %s)", s.msg, shortName(obj))
+			}
+		}
+	}
+	return nil
+}
+
+func stateFor(prog *load.Program) *state {
+	stateMu.Lock()
+	defer stateMu.Unlock()
+	if st, ok := stateCache[prog]; ok {
+		return st
+	}
+	st := build(prog)
+	stateCache[prog] = st
+	return st
+}
+
+func build(prog *load.Program) *state {
+	st := &state{
+		fset:    prog.Fset,
+		graph:   callgraph.For(prog),
+		set:     map[*types.Func]directive.Set{},
+		allows:  map[allowKey]bool{},
+		cost:    map[*types.Func]int{},
+		onStack: map[*types.Func]bool{},
+	}
+	for _, pkg := range prog.Packages {
+		pkgSet := directive.ForPackage(pkg.Files)
+		for _, file := range pkg.Files {
+			for _, a := range directive.Allows(prog.Fset, file) {
+				if a.Check != "" && a.Reason != "" {
+					st.allows[allowKey{a.File, a.Line, a.Check}] = true
+				}
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				set := pkgSet
+				set.Merge(directive.ForFunc(fd))
+				st.set[obj] = set
+			}
+		}
+	}
+	return st
+}
+
+// allowed reports whether an //eleos:allow hotpath/hotalloc directive
+// on pos's line, or the line above, excludes the site from counting.
+func (st *state) allowed(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, check := range []string{"hotalloc", "hotpath"} {
+		for _, line := range []int{p.Line, p.Line - 1} {
+			if st.allows[allowKey{p.Filename, line, check}] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// calleeCost returns fn's worst-case allocation count for callers:
+// the declared budget when fn is annotated, a memoized body walk when
+// fn is declared in the module, 0 otherwise.
+func (st *state) calleeCost(fn *types.Func) int {
+	if set, ok := st.set[fn]; ok && set.HotPath && set.HasHotBudget {
+		return set.HotBudget
+	}
+	if c, ok := st.cost[fn]; ok {
+		return c
+	}
+	decl, ok := st.graph.Decls[fn]
+	if !ok || decl.Decl.Body == nil || st.onStack[fn] {
+		return 0
+	}
+	st.onStack[fn] = true
+	w := &walker{st: st, pkg: decl.Pkg}
+	c := w.stmts(decl.Decl.Body.List)
+	delete(st.onStack, fn)
+	st.cost[fn] = c
+	return c
+}
+
+// walker walks one function body, summing worst-case allocation sites.
+// collect, when non-nil, receives the sites for diagnostics.
+type walker struct {
+	st      *state
+	pkg     *load.Package
+	collect *[]site
+}
+
+func (w *walker) add(pos token.Pos, n int, msg string) int {
+	if n == 0 || w.st.allowed(w.st.fset, pos) {
+		return 0
+	}
+	if w.collect != nil {
+		*w.collect = append(*w.collect, site{pos: pos, msg: msg, n: n})
+	}
+	return n
+}
+
+func (w *walker) stmts(list []ast.Stmt) int {
+	total := 0
+	for _, s := range list {
+		total += w.stmt(s)
+	}
+	return total
+}
+
+// stmt returns the worst-case allocation count of one statement.
+// Control statements recurse with max over branches; loop bodies count
+// once; leaf statements walk their expressions.
+func (w *walker) stmt(s ast.Stmt) int {
+	switch s := s.(type) {
+	case nil:
+		return 0
+	case *ast.BlockStmt:
+		return w.stmts(s.List)
+	case *ast.IfStmt:
+		n := w.stmt(s.Init) + w.expr(s.Cond)
+		return n + max(w.stmts(s.Body.List), w.stmt(s.Else))
+	case *ast.SwitchStmt:
+		n := w.stmt(s.Init) + w.expr(s.Tag)
+		return n + w.maxClauses(s.Body)
+	case *ast.TypeSwitchStmt:
+		n := w.stmt(s.Init) + w.stmt(s.Assign)
+		return n + w.maxClauses(s.Body)
+	case *ast.SelectStmt:
+		return w.maxClauses(s.Body)
+	case *ast.ForStmt:
+		return w.stmt(s.Init) + w.expr(s.Cond) + w.stmt(s.Post) + w.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		return w.expr(s.X) + w.stmts(s.Body.List)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt)
+	case *ast.ExprStmt:
+		return w.expr(s.X)
+	case *ast.SendStmt:
+		return w.expr(s.Chan) + w.expr(s.Value)
+	case *ast.IncDecStmt:
+		return w.expr(s.X)
+	case *ast.AssignStmt:
+		n := 0
+		for _, e := range s.Lhs {
+			n += w.expr(e)
+		}
+		for _, e := range s.Rhs {
+			n += w.expr(e)
+		}
+		return n
+	case *ast.GoStmt:
+		return w.expr(s.Call)
+	case *ast.DeferStmt:
+		return w.expr(s.Call)
+	case *ast.ReturnStmt:
+		n := 0
+		for _, e := range s.Results {
+			n += w.expr(e)
+		}
+		return n
+	case *ast.DeclStmt:
+		n := 0
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						n += w.expr(e)
+					}
+				}
+			}
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// maxClauses returns the worst single clause of a switch/select body.
+func (w *walker) maxClauses(body *ast.BlockStmt) int {
+	worst := 0
+	for _, c := range body.List {
+		n := 0
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				n += w.expr(e)
+			}
+			n += w.stmts(c.Body)
+		case *ast.CommClause:
+			n += w.stmt(c.Comm) + w.stmts(c.Body)
+		}
+		worst = max(worst, n)
+	}
+	return worst
+}
+
+// expr sums the allocation sites in one expression tree.
+func (w *walker) expr(e ast.Expr) int {
+	if e == nil {
+		return 0
+	}
+	info := w.pkg.Info
+	total := 0
+	// consumed marks nodes whose cost a parent already charged: the
+	// composite literal under &lit, and the operand chains of a string
+	// concatenation (a+b+c is one runtime concatenation).
+	consumed := map[ast.Node]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			total += w.add(n.Pos(), 1, "closure allocates")
+			total += w.stmts(n.Body.List)
+			return false
+		case *ast.UnaryExpr:
+			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && n.Op == token.AND {
+				consumed[lit] = true
+				total += w.add(n.Pos(), 1, "composite literal escapes (allocates)")
+			}
+		case *ast.CompositeLit:
+			if consumed[n] {
+				return true
+			}
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					total += w.add(n.Pos(), 1, "slice literal allocates")
+				case *types.Map:
+					total += w.add(n.Pos(), 1, "map literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && !consumed[n] && isStringExpr(info, n) && info.Types[n].Value == nil {
+				for _, op := range []ast.Expr{n.X, n.Y} {
+					markStringAdds(info, op, consumed)
+				}
+				total += w.add(n.Pos(), 1, "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			total += w.call(n)
+		}
+		return true
+	})
+	return total
+}
+
+// call charges one call expression: builtins, conversions, fmt,
+// variadic slice, interface boxing, and the callee's own cost.
+func (w *walker) call(call *ast.CallExpr) int {
+	info := w.pkg.Info
+	total := 0
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				return w.add(call.Lparen, 1, "new allocates")
+			case "make":
+				return w.add(call.Lparen, 1, "make allocates")
+			case "append":
+				// Args may allocate too (nested literals); the grow
+				// charge is on the call itself.
+				return w.add(call.Lparen, 1, "append may grow (allocates)")
+			default:
+				return 0
+			}
+		}
+	}
+
+	// Conversions: string↔[]byte/[]rune and integer→string copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		target := tv.Type.Underlying()
+		src := info.TypeOf(call.Args[0])
+		switch t := target.(type) {
+		case *types.Slice:
+			if src != nil && isString(src) {
+				total += w.add(call.Lparen, 1, "string-to-slice conversion allocates")
+			}
+		case *types.Basic:
+			if t.Info()&types.IsString != 0 && src != nil && !isString(src) {
+				total += w.add(call.Lparen, 1, "conversion to string allocates")
+			}
+		}
+		return total
+	}
+
+	callee := analysis.StaticCallee(info, call)
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		total += w.add(call.Lparen, 1, "fmt call allocates")
+	}
+
+	sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+	if sig != nil {
+		if sig.Variadic() && call.Ellipsis == token.NoPos && len(call.Args) >= sig.Params().Len() {
+			if len(call.Args) > sig.Params().Len()-1 {
+				total += w.add(call.Lparen, 1, "variadic call allocates argument slice")
+			}
+		}
+		for i, arg := range call.Args {
+			pt := paramType(sig, i, call.Ellipsis != token.NoPos)
+			if pt == nil || !types.IsInterface(pt.Underlying()) {
+				continue
+			}
+			at := info.TypeOf(arg)
+			if at == nil || types.IsInterface(at.Underlying()) || pointerShaped(at) {
+				continue
+			}
+			if tv, ok := info.Types[arg]; ok && tv.Value != nil {
+				continue // constants convert to static interface data
+			}
+			if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+				continue
+			}
+			total += w.add(arg.Pos(), 1, "interface conversion allocates")
+		}
+	}
+
+	if callee != nil && callee.Pkg() != nil && callee.Pkg().Path() != "fmt" {
+		if n := w.st.calleeCost(callee); n > 0 {
+			total += w.add(call.Lparen, n,
+				"call to "+shortName(callee)+" adds "+itoa(n)+" worst-case allocation(s)")
+		}
+	}
+	return total
+}
+
+// paramType resolves the type of parameter i of sig, flattening the
+// variadic tail (unless the call forwards a slice with ...).
+func paramType(sig *types.Signature, i int, ellipsis bool) types.Type {
+	params := sig.Params()
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if ellipsis {
+			return last
+		}
+		if s, ok := last.(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// pointerShaped reports whether boxing a value of type t into an
+// interface needs no allocation (the value already is one word of
+// pointer shape).
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// markStringAdds marks the nested + chain of a string concatenation as
+// consumed: the runtime concatenates the whole chain in one call.
+func markStringAdds(info *types.Info, e ast.Expr, consumed map[ast.Node]bool) {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || be.Op != token.ADD || !isStringExpr(info, be) {
+		return
+	}
+	consumed[be] = true
+	markStringAdds(info, be.X, consumed)
+	markStringAdds(info, be.Y, consumed)
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && isString(t)
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// pkgOf finds the load.Package declaring fn via the call graph.
+func pkgOf(st *state, fn *types.Func) *load.Package {
+	return st.graph.Decls[fn].Pkg
+}
+
+// shortName renders pkg.Name or pkg.(*Recv).Name for messages.
+func shortName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := false
+		if p, ok := t.(*types.Pointer); ok {
+			t, ptr = p.Elem(), true
+		}
+		if named, ok := t.(*types.Named); ok {
+			if ptr {
+				name = "(*" + named.Obj().Name() + ")." + name
+			} else {
+				name = named.Obj().Name() + "." + name
+			}
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

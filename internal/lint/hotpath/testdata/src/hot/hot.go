@@ -1,0 +1,135 @@
+// Package hot is testdata for the hotpath analyzer: budget violations,
+// branch-aware worst cases, transitive callee costs, suppression and
+// malformed directives.
+package hot
+
+import (
+	"fmt"
+
+	"hotlib"
+)
+
+// Item is the fixture payload.
+type Item struct {
+	tag int
+	s   []int
+}
+
+// Over busts its budget with three local allocation sites.
+//
+//eleos:hotpath budget=1
+func Over(n int) *Item { // want "hot-path function hot.Over: worst-case 3 heap allocations exceed budget 1"
+	s := make([]int, 0, 4) // want "make allocates"
+	s = append(s, n)       // want "append may grow"
+	return &Item{s: s}     // want "composite literal escapes"
+}
+
+// Under fits: one allocation against budget 1, silent.
+//
+//eleos:hotpath budget=1
+func Under() *Item { return &Item{} }
+
+// Zero moves pointers only: clean at budget 0.
+//
+//eleos:hotpath budget=0
+func Zero(it *Item) *Item {
+	if it == nil {
+		return nil
+	}
+	it.tag++
+	return it
+}
+
+// Branchy allocates on both arms; the worst case is the max over
+// branches (1), not the sum (2), so budget=1 holds. (An early return
+// followed by straight-line code is summed — the walker does not track
+// reachability.)
+//
+//eleos:hotpath budget=1
+func Branchy(c bool) *Item {
+	var it *Item
+	if c {
+		it = &Item{tag: 1}
+	} else {
+		it = &Item{tag: 2}
+	}
+	return it
+}
+
+// Loop's body counts once, not per iteration: one append, budget 1.
+//
+//eleos:hotpath budget=1
+func Loop(n int) []*Item {
+	var out []*Item
+	for i := 0; i < n; i++ {
+		out = append(out, nil)
+	}
+	return out
+}
+
+// Deep busts through its unannotated callee: hotlib.Boxes charges its
+// real worst case (2) at the call site.
+//
+//eleos:hotpath budget=1
+func Deep() *hotlib.Buf { // want "hot-path function hot.Deep: worst-case 2 heap allocations exceed budget 1"
+	return hotlib.Boxes() // want "call to hotlib.Boxes adds 2 worst-case allocation"
+}
+
+// Declared trusts hotlib.Pooled's declared budget (1): composition,
+// not a recount.
+//
+//eleos:hotpath budget=1
+func Declared() *hotlib.Buf {
+	return hotlib.Pooled()
+}
+
+// Fmt shows the formatting triple-charge: the fmt call, its variadic
+// argument slice, and boxing the non-constant int operand.
+//
+//eleos:hotpath budget=0
+func Fmt(n int) error { // want "hot-path function hot.Fmt: worst-case 3 heap allocations exceed budget 0"
+	return fmt.Errorf("bad tag %d", n) // want "allocates"
+}
+
+// Closure charges the closure itself plus its body's sites.
+//
+//eleos:hotpath budget=1
+func Closure(n int) func() *Item { // want "hot-path function hot.Closure: worst-case 2 heap allocations exceed budget 1"
+	return func() *Item { return &Item{tag: n} } // want "closure allocates|composite literal escapes"
+}
+
+// Concat charges one allocation for the whole a+b+c chain.
+//
+//eleos:hotpath budget=0
+func Concat(a, b, c string) string { // want "hot-path function hot.Concat: worst-case 1 heap allocations exceed budget 0"
+	return a + b + c // want "string concatenation allocates"
+}
+
+// Convert charges the string/byte-slice crossings.
+//
+//eleos:hotpath budget=1
+func Convert(s string) string { // want "hot-path function hot.Convert: worst-case 2 heap allocations exceed budget 1"
+	b := []byte(s)   // want "string-to-slice conversion allocates"
+	return string(b) // want "conversion to string allocates"
+}
+
+// Allowed suppresses the amortized append, bringing the count under
+// budget.
+//
+//eleos:hotpath budget=0
+func Allowed(s []int, n int) []int {
+	//eleos:allow hotpath -- amortized growth, caller pre-sizes capacity
+	return append(s, n)
+}
+
+// Bad carries a hotpath directive with no parseable budget.
+//
+//eleos:hotpath budget=soon
+func Bad() { // want "hotpath directive on hot.Bad is missing a budget=N argument"
+	_ = make([]int, 1)
+}
+
+// Cold is unannotated: allocations are free here.
+func Cold() *Item {
+	return &Item{s: make([]int, 8)}
+}

@@ -1,0 +1,24 @@
+// Package hotlib is testdata: intra-module callees of the hot package,
+// proving the budget walk crosses package boundaries.
+package hotlib
+
+// Buf wraps a byte slice.
+type Buf struct{ b []byte }
+
+// Boxes allocates twice; unannotated, so hot callers absorb the real
+// count.
+func Boxes() *Buf {
+	b := make([]byte, 0) // charged to every hot caller
+	return &Buf{b: b}    // charged to every hot caller
+}
+
+// Pooled declares its own budget: hot callers charge the declared 1,
+// not a recount of the body.
+//
+//eleos:hotpath budget=1
+func Pooled() *Buf {
+	return &Buf{}
+}
+
+// Clean allocates nothing.
+func Clean(x int) int { return x + 1 }

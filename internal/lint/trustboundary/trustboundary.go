@@ -20,21 +20,22 @@
 //   - an untrusted function that calls an EPC-content accessor of the
 //     sgx platform layer, or any trusted function.
 //
-// The call graph is static: calls through interface methods and
-// function values are not resolved (the rpc request trampoline is the
-// documented escape hatch). Facade and platform functions act as
-// barriers in the reachability computation — reaching the arena
-// *through* them is precisely what is allowed.
+// The call graph is the shared static one from internal/lint/callgraph:
+// calls through interface methods and function values are not resolved
+// (the rpc request trampoline is the documented escape hatch). Facade
+// and platform functions act as barriers in the reachability
+// computation — reaching the arena *through* them is precisely what is
+// allowed.
 package trustboundary
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 	"strings"
 	"sync"
 
 	"eleos/internal/lint/analysis"
+	"eleos/internal/lint/callgraph"
 	"eleos/internal/lint/directive"
 	"eleos/internal/lint/load"
 )
@@ -63,16 +64,11 @@ var epcAccessors = map[string]bool{
 	"sgx.Thread.OCall":          true,
 }
 
-type edge struct {
-	callee *types.Func
-	pos    token.Pos
-}
-
 // facts is the program-wide view shared by every per-package pass.
 type facts struct {
 	domain map[*types.Func]directive.Domain
 	facade map[*types.Func]bool
-	edges  map[*types.Func][]edge
+	edges  map[*types.Func][]callgraph.Edge
 	// reach maps each function that can reach a raw arena accessor
 	// without crossing a facade/platform barrier to a printable chain.
 	reach map[*types.Func]string
@@ -113,13 +109,13 @@ func run(pass *analysis.Pass) error {
 func checkTrusted(pass *analysis.Pass, f *facts, fn *types.Func) {
 	for _, e := range f.edges[fn] {
 		switch {
-		case isRawAccessor(e.callee):
-			pass.Report(e.pos, "rawhostmem",
+		case isRawAccessor(e.Callee):
+			pass.Report(e.Pos, "rawhostmem",
 				"trusted function %s performs raw host-memory access %s; go through the seal/suvm spointer facades",
-				shortName(fn), shortName(e.callee))
-		case !barrier(f, e.callee):
-			if chain, ok := f.reach[e.callee]; ok {
-				pass.Report(e.pos, "rawhostmem",
+				shortName(fn), shortName(e.Callee))
+		case !barrier(f, e.Callee):
+			if chain, ok := f.reach[e.Callee]; ok {
+				pass.Report(e.Pos, "rawhostmem",
 					"trusted function %s reaches raw host-memory access: %s",
 					shortName(fn), chain)
 			}
@@ -131,16 +127,16 @@ func checkTrusted(pass *analysis.Pass, f *facts, fn *types.Func) {
 // into the enclave.
 func checkUntrusted(pass *analysis.Pass, f *facts, fn *types.Func) {
 	for _, e := range f.edges[fn] {
-		if epcAccessors[qualifiedKey(e.callee)] {
-			pass.Report(e.pos, "epcaccess",
+		if epcAccessors[qualifiedKey(e.Callee)] {
+			pass.Report(e.Pos, "epcaccess",
 				"untrusted function %s dereferences enclave (EPC) memory via %s",
-				shortName(fn), shortName(e.callee))
+				shortName(fn), shortName(e.Callee))
 			continue
 		}
-		if f.domain[e.callee] == directive.DomainTrusted {
-			pass.Report(e.pos, "callstrusted",
+		if f.domain[e.Callee] == directive.DomainTrusted {
+			pass.Report(e.Pos, "callstrusted",
 				"untrusted function %s calls trusted function %s; enclave entry goes through the sgx platform layer only",
-				shortName(fn), shortName(e.callee))
+				shortName(fn), shortName(e.Callee))
 		}
 	}
 }
@@ -156,13 +152,14 @@ func factsFor(prog *load.Program) *facts {
 	return f
 }
 
-// build computes domains, the call graph, and barrier-aware
-// reachability to the raw arena accessors for the whole program.
+// build computes domains and barrier-aware reachability to the raw
+// arena accessors for the whole program, over the shared call graph.
 func build(prog *load.Program) *facts {
+	g := callgraph.For(prog)
 	f := &facts{
 		domain: map[*types.Func]directive.Domain{},
 		facade: map[*types.Func]bool{},
-		edges:  map[*types.Func][]edge{},
+		edges:  g.Out,
 		reach:  map[*types.Func]string{},
 	}
 	for _, pkg := range prog.Packages {
@@ -181,9 +178,6 @@ func build(prog *load.Program) *facts {
 				set.Merge(directive.ForFunc(fd))
 				f.domain[obj] = set.Domain
 				f.facade[obj] = set.Facade
-				if fd.Body != nil {
-					collectEdges(pkg.Info, obj, fd.Body, f)
-				}
 			}
 		}
 	}
@@ -192,13 +186,11 @@ func build(prog *load.Program) *facts {
 	// set when a callee in the set is not a barrier; barriers join the
 	// set (their direct raw access is visible to their own callers'
 	// checks) but never propagate membership upward.
-	rev := map[*types.Func][]*types.Func{}
 	var queue []*types.Func
 	for caller, es := range f.edges {
 		for _, e := range es {
-			rev[e.callee] = append(rev[e.callee], caller)
-			if isRawAccessor(e.callee) && f.reach[caller] == "" {
-				f.reach[caller] = shortName(caller) + " calls " + shortName(e.callee)
+			if isRawAccessor(e.Callee) && f.reach[caller] == "" {
+				f.reach[caller] = shortName(caller) + " calls " + shortName(e.Callee)
 				queue = append(queue, caller)
 			}
 		}
@@ -209,7 +201,7 @@ func build(prog *load.Program) *facts {
 		if barrier(f, fn) {
 			continue
 		}
-		for _, caller := range rev[fn] {
+		for _, caller := range g.In[fn] {
 			if f.reach[caller] == "" {
 				f.reach[caller] = shortName(caller) + " -> " + f.reach[fn]
 				queue = append(queue, caller)
@@ -217,22 +209,6 @@ func build(prog *load.Program) *facts {
 		}
 	}
 	return f
-}
-
-// collectEdges records every statically resolvable call in body as an
-// edge out of fn. Calls inside function literals are attributed to the
-// enclosing declaration: a closure runs in its creator's trust domain.
-func collectEdges(info *types.Info, fn *types.Func, body *ast.BlockStmt, f *facts) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if callee := analysis.StaticCallee(info, call); callee != nil {
-			f.edges[fn] = append(f.edges[fn], edge{callee: callee, pos: call.Lparen})
-		}
-		return true
-	})
 }
 
 func barrier(f *facts, fn *types.Func) bool {

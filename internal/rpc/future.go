@@ -22,6 +22,8 @@ type Future struct {
 
 // Done reports whether the delegated call has completed, without
 // blocking and without charging the caller.
+//
+//eleos:hotpath budget=0
 func (f *Future) Done() bool {
 	return f.waited || f.req.done.Load() != 0
 }
@@ -30,6 +32,8 @@ func (f *Future) Done() bool {
 // accounting: cycles the caller burned since submission overlap with
 // the worker's execution for free, and only the residual — if any — is
 // charged, as stall time outside the enclave, plus the completion poll.
+//
+//eleos:hotpath budget=0
 func (f *Future) Wait(caller *sgx.Thread) {
 	if f.waited {
 		return

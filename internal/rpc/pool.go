@@ -307,9 +307,11 @@ func (p *Pool) Stats() Stats {
 	}
 }
 
+//eleos:hotpath budget=0
 func (p *Pool) getReq(fn func(*sgx.HostCtx), stamp uint64) *request {
 	req, _ := p.reqPool.Get().(*request)
 	if req == nil {
+		//eleos:allow hotpath -- pool miss: one-time warm-up, amortized to zero in steady state
 		req = new(request)
 	}
 	req.fn = fn
@@ -319,6 +321,7 @@ func (p *Pool) getReq(fn func(*sgx.HostCtx), stamp uint64) *request {
 	return req
 }
 
+//eleos:hotpath budget=0
 func (p *Pool) putReq(req *request) {
 	req.fn = nil
 	req.notify = nil
@@ -332,6 +335,8 @@ func (p *Pool) putReq(req *request) {
 // free. The worker-set snapshot is taken inside the inflight window, so
 // a concurrent shrink waits for this publish before draining the rings
 // it unpublished.
+//
+//eleos:hotpath budget=0
 func (p *Pool) submit(req *request, caller *sgx.Thread) error {
 	p.inflight.Add(1)
 	if p.state.Load() != poolRunning {
@@ -350,10 +355,13 @@ func (p *Pool) submit(req *request, caller *sgx.Thread) error {
 // shardOf picks the submission shard for a caller: affinity by thread
 // ID, so a caller's requests stay on one ring and its cache lines, with
 // work stealing rebalancing any skew.
+//
+//eleos:hotpath budget=0
 func shardOf(caller *sgx.Thread, n int) int {
 	return int(uint64(caller.T.ID()) % uint64(n))
 }
 
+//eleos:hotpath budget=0
 func (p *Pool) bumpPeak(d int64) {
 	for {
 		cur := p.peakDepth.Load()
@@ -366,6 +374,8 @@ func (p *Pool) bumpPeak(d int64) {
 // notify wakes sleeping workers after a publish: the target shard's
 // owner first, then — if the backlog justifies it — sleeping siblings,
 // which will find the work by stealing.
+//
+//eleos:hotpath budget=0
 func (p *Pool) notify(ws []*worker, s int) {
 	need := p.depth.Load()
 	if need <= 0 {
@@ -384,6 +394,7 @@ func (p *Pool) notify(ws []*worker, s int) {
 	}
 }
 
+//eleos:hotpath budget=0
 func wakeOne(w *worker) bool {
 	if !w.sleeping.Load() {
 		return false
@@ -398,6 +409,8 @@ func wakeOne(w *worker) bool {
 
 // dequeueFor pops work for worker w: its own ring first, then a steal
 // sweep over the published siblings.
+//
+//eleos:hotpath budget=0
 func (p *Pool) dequeueFor(w *worker) (req *request, stolen bool) {
 	if req := w.ring.dequeue(); req != nil {
 		p.depth.Add(-1)
@@ -420,6 +433,7 @@ func (p *Pool) dequeueFor(w *worker) (req *request, stolen bool) {
 // never touch EPC contents or call enclave code.
 //
 //eleos:untrusted
+//eleos:hotpath budget=0
 func (p *Pool) workerLoop(w *worker, stopC chan struct{}) {
 	defer p.wg.Done()
 	ctx := w.th.HostContext()
@@ -462,6 +476,7 @@ func (p *Pool) workerLoop(w *worker, stopC chan struct{}) {
 // completion.
 //
 //eleos:untrusted
+//eleos:hotpath budget=0
 func (p *Pool) execute(w *worker, ctx *sgx.HostCtx, req *request) {
 	start := w.th.T.Cycles()
 	req.fn(ctx)
@@ -481,6 +496,7 @@ func (p *Pool) execute(w *worker, ctx *sgx.HostCtx, req *request) {
 // touching theirs.
 //
 //eleos:untrusted
+//eleos:hotpath budget=0
 func (p *Pool) drainOwn(w *worker, ctx *sgx.HostCtx) {
 	for {
 		req := w.ring.dequeue()
@@ -500,6 +516,7 @@ func (p *Pool) drainOwn(w *worker, ctx *sgx.HostCtx) {
 // futex-sleep; an enclave thread may not).
 //
 //eleos:untrusted
+//eleos:hotpath budget=0
 func (p *Pool) sleep(w *worker, stopC chan struct{}) {
 	w.sleeping.Store(true)
 	p.sleeps.Add(1)
@@ -523,6 +540,8 @@ func (p *Pool) sleep(w *worker, stopC chan struct{}) {
 // completion-polling overhead — but no EEXIT/EENTER, no TLB flush and no
 // enclave state disturbance. Safe for concurrent use by many enclave
 // threads. Returns ErrStopped if the pool is not running.
+//
+//eleos:hotpath budget=0
 func (p *Pool) Call(caller *sgx.Thread, fn func(*sgx.HostCtx)) error {
 	if p.state.Load() != poolRunning {
 		return ErrStopped
@@ -552,6 +571,8 @@ func (p *Pool) Call(caller *sgx.Thread, fn func(*sgx.HostCtx)) error {
 // Future.Wait later charges just the residual part of the worker's
 // latency that the caller's own compute did not hide (§3.1's
 // asynchronous variant of the exit-less service).
+//
+//eleos:hotpath budget=1
 func (p *Pool) CallAsync(caller *sgx.Thread, fn func(*sgx.HostCtx)) (*Future, error) {
 	return p.CallAsyncNotify(caller, fn, nil)
 }
@@ -563,9 +584,27 @@ func (p *Pool) CallAsync(caller *sgx.Thread, fn func(*sgx.HostCtx)) (*Future, er
 // worker — it must be cheap, non-blocking (a counter bump, a
 // non-blocking channel send) and must not touch enclave state. It is a
 // host-side signal only: accounting still settles at Future.Wait.
+//
+//eleos:hotpath budget=1
 func (p *Pool) CallAsyncNotify(caller *sgx.Thread, fn func(*sgx.HostCtx), notify func()) (*Future, error) {
+	fut := &Future{}
+	if err := p.CallAsyncNotifyInto(fut, caller, fn, notify); err != nil {
+		return nil, err
+	}
+	return fut, nil
+}
+
+// CallAsyncNotifyInto is CallAsyncNotify publishing into a
+// caller-provided Future instead of allocating one, so completion
+// handles can live inside pooled or recycled structures (exitio embeds
+// one per pooled chain). *fut is overwritten unconditionally; it must
+// not be an un-waited live future. The usual Future contract applies:
+// it belongs to caller, and Wait must come from that same thread.
+//
+//eleos:hotpath budget=0
+func (p *Pool) CallAsyncNotifyInto(fut *Future, caller *sgx.Thread, fn func(*sgx.HostCtx), notify func()) error {
 	if p.state.Load() != poolRunning {
-		return nil, ErrStopped
+		return ErrStopped
 	}
 	m := caller.Platform().Model
 	caller.T.Charge(m.RPCEnqueue)
@@ -573,11 +612,12 @@ func (p *Pool) CallAsyncNotify(caller *sgx.Thread, fn func(*sgx.HostCtx), notify
 	req.notify = notify
 	if err := p.submit(req, caller); err != nil {
 		p.putReq(req)
-		return nil, err
+		return err
 	}
 	p.calls.Add(1)
 	p.asyncCalls.Add(1)
-	return &Future{pool: p, req: req}, nil
+	*fut = Future{pool: p, req: req}
+	return nil
 }
 
 // CallBatch delegates all fns with a single charge-and-publish: the
@@ -587,6 +627,8 @@ func (p *Pool) CallAsyncNotify(caller *sgx.Thread, fn func(*sgx.HostCtx), notify
 // them. The synchronous latency charged is the batch's parallel
 // makespan across the pool, not the serial sum of the calls. Returns
 // ErrStopped if the pool is not running.
+//
+//eleos:hotpath budget=2
 func (p *Pool) CallBatch(caller *sgx.Thread, fns []func(*sgx.HostCtx)) error {
 	n := len(fns)
 	if n == 0 {

@@ -65,6 +65,8 @@ func newRing(capacity int) *ring {
 }
 
 // enqueue publishes req, spinning if the ring is momentarily full.
+//
+//eleos:hotpath budget=0
 func (r *ring) enqueue(req *request) {
 	pos := r.enq.Load()
 	for {
@@ -90,6 +92,8 @@ func (r *ring) enqueue(req *request) {
 
 // dequeue removes one request, returning nil immediately when the ring
 // is empty (workers interleave polling with backoff).
+//
+//eleos:hotpath budget=0
 func (r *ring) dequeue() *request {
 	pos := r.deq.Load()
 	for {

@@ -33,17 +33,24 @@ type Thread struct {
 
 	// scratch avoids per-access allocations in the data path.
 	scratch [8]byte
+
+	// hostCtx is the thread's untrusted execution context, allocated
+	// once here so HostContext and OCall stay allocation-free on the
+	// per-op path (HostCtx is immutable: it only names the thread).
+	hostCtx HostCtx
 }
 
 func newThread(p *Platform, e *Enclave, cos cache.CoS) *Thread {
 	id := int(p.nextThread.Add(1))
-	return &Thread{
+	th := &Thread{
 		T:    cycles.NewThread(id, p.Model),
 		TLB:  tlb.New(p.Model, tlb.Config{}),
 		plat: p,
 		encl: e,
 		cos:  cos,
 	}
+	th.hostCtx.th = th
+	return th
 }
 
 // NewThread creates a hardware thread bound to the enclave.
@@ -157,11 +164,13 @@ func (th *Thread) Exit() {
 // untrusted context of the owner process, and re-enter. fn runs on the
 // same core and therefore the same cache class of service. This is the
 // mechanism Eleos's exit-less RPC replaces.
+//
+//eleos:hotpath budget=0
 func (th *Thread) OCall(fn func(*HostCtx)) {
 	th.encl.stats.OCalls.Add(1)
 	th.Exit()
 	th.T.Charge(th.plat.Model.OCallOverhead)
-	fn(&HostCtx{th: th})
+	fn(&th.hostCtx)
 	th.Enter()
 }
 
@@ -175,7 +184,9 @@ type HostCtx struct {
 // HostContext returns an untrusted execution context for a host thread
 // (or for an enclave thread that is currently outside — used by
 // runtimes, not applications).
-func (th *Thread) HostContext() *HostCtx { return &HostCtx{th: th} }
+//
+//eleos:hotpath budget=0
+func (th *Thread) HostContext() *HostCtx { return &th.hostCtx }
 
 // Thread returns the hardware thread backing this context.
 func (c *HostCtx) Thread() *Thread { return c.th }
