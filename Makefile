@@ -60,4 +60,4 @@ staticcheck:
 	fi
 
 bench:
-	$(GO) run ./cmd/eleos-bench -quick -run rpc-async,io-engine,selftune,consolidation -json .
+	$(GO) run ./cmd/eleos-bench -quick -run rpc-async,io-engine,selftune,consolidation,fleet -json .

@@ -152,27 +152,29 @@ func (c *Ctx) IO() *IOQueue {
 	return c.io
 }
 
-// Pump gives the runtime's self-tuning controller a chance to act, on
-// this context's virtual clock. Serving loops call it once per request:
-// off-epoch it costs one comparison, and on an epoch boundary the
-// controller resizes the worker pool and refreshes its mode advice,
-// which Pump then applies to the context's I/O queue (at a chain
-// boundary, if the queue exists). Returns whether an epoch fired;
-// always false on runtimes built without autotuning.
+// Pump gives the runtime's controllers a chance to act, on this
+// context's virtual clock. Serving loops call it once per request:
+// off-epoch it costs one comparison per enabled controller. On an
+// epoch boundary the self-tuning controller resizes the worker pool
+// and refreshes its mode advice, which Pump then applies to the
+// context's I/O queue (at a chain boundary, if the queue exists); the
+// fleet balloon controller rebalances PRM shares across the runtime's
+// enclaves. Returns whether any epoch fired; always false on runtimes
+// built with neither controller.
 func (c *Ctx) Pump() bool {
-	t := c.e.rt.tuner
-	if t == nil {
-		return false
+	fired := false
+	if t := c.e.rt.tuner; t != nil && t.Pump(c.th) {
+		fired = true
+		if c.io != nil {
+			// The runtime engine always has a pool and the advice is always
+			// a pool mode, so this cannot fail.
+			_ = t.ApplyMode(c.th, c.io.q)
+		}
 	}
-	if !t.Pump(c.th) {
-		return false
+	if f := c.e.rt.fleet; f != nil && f.Pump(c.th) {
+		fired = true
 	}
-	if c.io != nil {
-		// The runtime engine always has a pool and the advice is always
-		// a pool mode, so this cannot fail.
-		_ = t.ApplyMode(c.th, c.io.q)
-	}
-	return true
+	return fired
 }
 
 // IOQueue is a context-bound exit-less I/O submission/completion

@@ -35,6 +35,7 @@ import (
 
 	"eleos/internal/cycles"
 	"eleos/internal/exitio"
+	"eleos/internal/fleet"
 	"eleos/internal/fsim"
 	"eleos/internal/rpc"
 	"eleos/internal/sgx"
@@ -120,6 +121,22 @@ type (
 	TuneAdvice = tune.Advice
 	// TuneDecision is one recorded epoch decision.
 	TuneDecision = tune.Decision
+	// FleetController is the fleet-scale adaptive EPC++ balloon
+	// controller (internal/fleet): the feedback loop behind
+	// WithFleetBalloon that rebalances PRM shares across enclaves from
+	// live demand instead of the driver's static even split.
+	FleetController = fleet.Controller
+	// FleetPolicy configures the controller (epoch length, share floor,
+	// hysteresis, deadband).
+	FleetPolicy = fleet.Policy
+	// FleetStats is a snapshot of fleet controller activity.
+	FleetStats = fleet.Stats
+	// FleetTenantStats is one tenant's slice of FleetStats.
+	FleetTenantStats = fleet.TenantStats
+	// FleetDecision is one recorded fleet epoch decision, and
+	// FleetTenantDecision one tenant's slice of it.
+	FleetDecision       = fleet.Decision
+	FleetTenantDecision = fleet.TenantDecision
 )
 
 // Exit-less I/O dispatch modes.
@@ -163,6 +180,14 @@ type Config struct {
 	// Tune is the controller policy when AutoTune is set; zero fields
 	// take the tune package defaults.
 	Tune TunePolicy
+	// FleetBalloon enables the fleet-scale adaptive EPC++ balloon
+	// controller: every enclave the runtime creates is registered as a
+	// tenant, and the controller rebalances PRM shares from live demand
+	// as serving loops drive Ctx.Pump. Prefer WithFleetBalloon.
+	FleetBalloon bool
+	// Fleet is the controller policy when FleetBalloon is set; zero
+	// fields take the fleet package defaults.
+	Fleet FleetPolicy
 
 	// Option bookkeeping for the mutual-exclusion check: which of the
 	// conflicting knobs the caller actually spelled out.
@@ -182,6 +207,7 @@ type Runtime struct {
 	pool  *rpc.Pool
 	io    *exitio.Engine
 	tuner *tune.Controller
+	fleet *fleet.Controller
 
 	// mu guards the enclave registry only; it is never held across
 	// calls into the subsystems.
@@ -245,6 +271,14 @@ func NewRuntime(opts ...Option) (*Runtime, error) {
 		}
 		rt.tuner = tuner
 	}
+	if cfg.FleetBalloon {
+		fc, err := fleet.New(plat.Driver, cfg.Fleet)
+		if err != nil {
+			pool.Stop()
+			return nil, fmt.Errorf("eleos: building fleet controller: %w", err)
+		}
+		rt.fleet = fc
+	}
 	return rt, nil
 }
 
@@ -263,6 +297,11 @@ func (r *Runtime) Pool() *rpc.Pool { return r.pool }
 // built without WithAutoTune / WithWorkerBounds. Serving loops normally
 // drive it through Ctx.Pump rather than directly.
 func (r *Runtime) Tuner() *Tuner { return r.tuner }
+
+// Fleet exposes the fleet balloon controller, or nil when the runtime
+// was built without WithFleetBalloon. Serving loops normally drive it
+// through Ctx.Pump rather than directly.
+func (r *Runtime) Fleet() *FleetController { return r.fleet }
 
 // IOEngine exposes the runtime's shared exit-less I/O engine. It
 // dispatches in rpc-async mode over the runtime's worker pool; Ctx.IO
@@ -283,8 +322,11 @@ func (r *Runtime) NewFS() *FS { return fsim.NewFS(r.plat) }
 
 // EnclaveConfig describes one enclave with its SUVM heap.
 type EnclaveConfig struct {
-	// PageCacheBytes sizes EPC++ (required; keep it under the PRM share
-	// reported by the driver, or enable AutoBalloon).
+	// PageCacheBytes sizes EPC++ (required). Keep it under the PRM
+	// share reported by the driver, run a swapper (SwapperInterval /
+	// ManualSwapper) to balloon it against driver pressure, or build
+	// the runtime with WithFleetBalloon to have the fleet controller
+	// size it from demand.
 	PageCacheBytes uint64
 	// Heap carries further SUVM tuning; PageCacheBytes above overrides
 	// its field of the same name.
@@ -357,6 +399,9 @@ func (r *Runtime) NewEnclave(cfg EnclaveConfig, opts ...EnclaveOption) (*Enclave
 	if r.tuner != nil {
 		r.tuner.WatchHeap(heap)
 	}
+	if r.fleet != nil {
+		r.fleet.Register(heap)
+	}
 	return e, nil
 }
 
@@ -376,6 +421,9 @@ func (e *Enclave) Destroy() {
 		}
 	}
 	e.rt.mu.Unlock()
+	if e.rt.fleet != nil {
+		e.rt.fleet.Unregister(e.heap)
+	}
 	if e.swapper != nil {
 		e.swapper.Stop()
 		e.swapper = nil

@@ -1,0 +1,297 @@
+package bench
+
+import (
+	"fmt"
+
+	"eleos"
+	"eleos/internal/faceverify"
+	"eleos/internal/kv"
+	"eleos/internal/loadgen"
+	"eleos/internal/mckv"
+	"eleos/internal/pserver"
+	"eleos/internal/report"
+)
+
+func init() {
+	register("fleet",
+		"Fleet ballooning: demand-driven PRM shares vs static even split under phase-shifted tenants",
+		runFleet)
+}
+
+// The fleet-ballooning experiment: N single-service enclaves (the
+// paper's multi-enclave deployment) under a PRM that cannot hold every
+// working set, with load that shifts between tenants in phases. The
+// static arm is the paper's §3.3 policy done right — every EPC++
+// ballooned to 3/4 of the driver's even share. The adaptive arm runs
+// the same tenants under WithFleetBalloon: the controller samples each
+// heap's fault signals, installs demand-proportional shares through
+// SetEPCShares, and balloons the heaps to match — so whichever tenant
+// the phase makes hot serves from EPC++ while the cold tenants shrink.
+
+const (
+	fleetPRM = 24 << 20 // 6144 frames for 3 tenants
+	// fleetEvenEPC is the static arm's EPC++: the balloon target of the
+	// 8 MiB even share (3/4 of it). The adaptive arm starts at the same
+	// size, so the arms differ only in what the controller does next.
+	fleetEvenEPC = 6 << 20
+	// fleetMaxEPC is the adaptive arm's EPC++ capacity: what a tenant
+	// can grow to when the controller concentrates PRM on it.
+	fleetMaxEPC = 12 << 20
+	// fleetEpochCycles is the controller's decision period; a few
+	// hundred requests per epoch at the hot tenants' fault costs.
+	fleetEpochCycles = 2_000_000
+)
+
+// fleetTenant is one enclave's server: build loads it (unmeasured) and
+// returns a single-request serving function plus a cleanup.
+type fleetTenant struct {
+	name  string
+	build func(rt *eleos.Runtime, ctx *eleos.Ctx) (request func() error, cleanup func(), err error)
+}
+
+// Working sets are sized to overflow the 6 MiB static EPC++ but fit the
+// 12 MiB adaptive capacity: the even split pages every tenant all the
+// time, the demand split serves the hot tenant from memory.
+func fleetTenants() []fleetTenant {
+	return []fleetTenant{
+		{"mckv", func(rt *eleos.Runtime, ctx *eleos.Ctx) (func() error, func(), error) {
+			store, err := mckv.NewStore(rt.Platform(), ctx.Thread(), mckv.Config{
+				MemLimitBytes: 12 << 20,
+				Placement:     mckv.PlaceSUVM,
+				Heap:          ctx.Enclave().Heap(),
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			srv := mckv.NewServerIO(store, rt.IOEngine())
+			key := make([]byte, 20)
+			val := make([]byte, 512)
+			const items = 16384 // ~10 MiB of entries
+			for i := 0; i < items; i++ {
+				copy(key, fmt.Sprintf("key-%016d", i))
+				if err := store.Set(ctx.Thread(), key, val); err != nil {
+					srv.Close()
+					return nil, nil, err
+				}
+			}
+			gen := loadgen.NewKeyGen(4242, items)
+			n := 0
+			request := func() error {
+				copy(key, fmt.Sprintf("key-%016d", gen.Next()-1))
+				n++
+				if n%5 == 0 {
+					return srv.ServeSet(ctx.Thread(), key, val)
+				}
+				_, err := srv.ServeGet(ctx.Thread(), key)
+				return err
+			}
+			return request, srv.Close, nil
+		}},
+		{"pserver", func(rt *eleos.Runtime, ctx *eleos.Ctx) (func() error, func(), error) {
+			srv, err := pserver.New(rt.Platform(), ctx.Thread(), pserver.Config{
+				DataBytes: 8 << 20,
+				Layout:    kv.OpenAddressing,
+				Placement: pserver.PlaceSUVM,
+				Heap:      ctx.Enclave().Heap(),
+				Engine:    rt.IOEngine(),
+				Encrypted: true,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			gen := loadgen.NewKeyGen(31337, srv.Entries())
+			keys := make([]uint64, 4)
+			request := func() error {
+				return srv.ServeRequest(ctx.Thread(), gen.Batch(keys))
+			}
+			return request, srv.Close, nil
+		}},
+		{"faceverify", func(rt *eleos.Runtime, ctx *eleos.Ctx) (func() error, func(), error) {
+			store, err := faceverify.NewStore(rt.Platform(), ctx.Thread(), faceverify.Config{
+				Identities: 40, // 40 x 232 KiB descriptors ~ 9 MiB
+				Placement:  faceverify.PlaceSUVM,
+				Heap:       ctx.Enclave().Heap(),
+				Synthetic:  true,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			srv := faceverify.NewServerIO(store, rt.IOEngine())
+			gen := loadgen.NewKeyGen(2718, 40)
+			n := 0
+			request := func() error {
+				n++
+				_, err := srv.Verify(ctx.Thread(), gen.Next()-1, uint64(n%4))
+				return err
+			}
+			return request, srv.Close, nil
+		}},
+	}
+}
+
+// fleetWeights[phase][tenant] is how many requests the tenant serves
+// per round in that phase: each phase makes one tenant hot.
+// faceverify's requests are an order of magnitude heavier, so its hot
+// weight is lower for a comparable phase length.
+var fleetWeights = [3][3]int{
+	{8, 1, 1},
+	{1, 8, 1},
+	{1, 1, 4},
+}
+
+// fleetPhase is one phase's aggregate outcome in one arm.
+type fleetPhase struct {
+	cycles uint64 // sum of all tenants' serving cycles
+	ops    int    // sum of all tenants' requests
+	faults uint64 // sum of all tenants' major faults
+}
+
+type fleetOutcome struct {
+	phases [3]fleetPhase
+	fleet  eleos.FleetStats
+}
+
+func runFleetArm(rc RunConfig, adaptive bool) (fleetOutcome, error) {
+	var out fleetOutcome
+	opts := []eleos.Option{
+		eleos.WithRPCWorkers(1),
+		eleos.WithMachine(eleos.MachineConfig{UsablePRMBytes: fleetPRM}),
+	}
+	if adaptive {
+		opts = append(opts, eleos.WithFleetBalloon(eleos.FleetPolicy{EpochCycles: fleetEpochCycles}))
+	}
+	rt, err := eleos.NewRuntime(opts...)
+	if err != nil {
+		return out, err
+	}
+	defer rt.Close()
+
+	tenants := fleetTenants()
+	ctxs := make([]*eleos.Ctx, len(tenants))
+	reqs := make([]func() error, len(tenants))
+	for i, tn := range tenants {
+		epc := uint64(fleetEvenEPC)
+		if adaptive {
+			epc = fleetMaxEPC
+		}
+		encl, err := rt.NewEnclave(eleos.EnclaveConfig{PageCacheBytes: epc})
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", tn.name, err)
+		}
+		defer encl.Destroy()
+		ctxs[i] = encl.NewContext()
+		defer ctxs[i].Close()
+		if adaptive {
+			// Both arms start at the even-split balloon size; only the
+			// controller's decisions differ.
+			if err := encl.Heap().ResizeTo(ctxs[i].Thread(), fleetEvenEPC); err != nil {
+				return out, fmt.Errorf("%s: presize: %w", tn.name, err)
+			}
+		}
+		req, cleanup, err := tn.build(rt, ctxs[i])
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", tn.name, err)
+		}
+		defer cleanup()
+		reqs[i] = req
+	}
+
+	// Warm-up boundary: setup (enclave creation pins whole frame pools,
+	// store loads fault in working sets) ran on setup-thread clocks and
+	// left the driver's virtual-time queue far ahead of the serving
+	// threads. Reset every measured counter and the driver together — the
+	// shared-epoch discipline all benchmarks follow — so the phases
+	// compare serving work, not leftover clock skew between the arms'
+	// different setup costs.
+	for _, ctx := range ctxs {
+		ctx.Thread().T.Reset()
+		ctx.Thread().TLB.ResetStats()
+		ctx.Thread().ResetEnclaveCycles()
+		ctx.Enclave().Heap().ResetStats()
+	}
+	rt.Platform().LLC.ResetStats()
+	rt.Platform().Driver.ResetStats()
+
+	rounds := rc.Ops / 100
+	if rounds < 60 {
+		rounds = 60
+	}
+	for phase := 0; phase < 3; phase++ {
+		var c0, f0 [3]uint64
+		for i, ctx := range ctxs {
+			c0[i] = ctx.Cycles()
+			f0[i] = ctx.Enclave().Heap().Stats().MajorFaults
+		}
+		ops := 0
+		for r := 0; r < rounds; r++ {
+			for i, req := range reqs {
+				for k := 0; k < fleetWeights[phase][i]; k++ {
+					if err := req(); err != nil {
+						return out, fmt.Errorf("%s phase %d: %w", tenants[i].name, phase, err)
+					}
+					ops++
+				}
+				ctxs[i].Pump()
+			}
+		}
+		p := &out.phases[phase]
+		p.ops = ops
+		for i, ctx := range ctxs {
+			p.cycles += ctx.Cycles() - c0[i]
+			p.faults += ctx.Enclave().Heap().Stats().MajorFaults - f0[i]
+		}
+	}
+	out.fleet = rt.Stats().Fleet
+	return out, nil
+}
+
+func runFleet(rc RunConfig) (*Result, error) {
+	rc = rc.Normalize()
+	static, err := runFleetArm(rc, false)
+	if err != nil {
+		return nil, err
+	}
+	adaptive, err := runFleetArm(rc, true)
+	if err != nil {
+		return nil, err
+	}
+
+	hot := []string{"mckv", "pserver", "faceverify"}
+	t := report.New("Phase-shifted tenants: static even split vs adaptive fleet shares (3 enclaves, 24 MiB PRM)",
+		"phase (hot tenant)", "requests", "static cyc/req", "adaptive cyc/req", "speedup",
+		"static faults", "adaptive faults")
+	t.Note = fmt.Sprintf("aggregate over all 3 tenants per phase; every EPC++ starts at %d MiB (the even-split balloon target); the adaptive arm may grow a tenant to %d MiB by shrinking the others", fleetEvenEPC>>20, fleetMaxEPC>>20)
+	var sTot, aTot fleetPhase
+	for phase := range static.phases {
+		s, a := static.phases[phase], adaptive.phases[phase]
+		t.AddRow(hot[phase], s.ops,
+			perOp(s.cycles, s.ops), perOp(a.cycles, a.ops),
+			float64(s.cycles)/float64(a.cycles),
+			s.faults, a.faults)
+		sTot.cycles += s.cycles
+		sTot.ops += s.ops
+		sTot.faults += s.faults
+		aTot.cycles += a.cycles
+		aTot.ops += a.ops
+		aTot.faults += a.faults
+	}
+	t.AddRow("all phases", sTot.ops,
+		perOp(sTot.cycles, sTot.ops), perOp(aTot.cycles, aTot.ops),
+		float64(sTot.cycles)/float64(aTot.cycles),
+		sTot.faults, aTot.faults)
+
+	ct := report.New("Fleet controller activity (adaptive arm)",
+		"tenant", "share frames", "active frames", "capacity frames", "last demand", "skips")
+	ct.Note = fmt.Sprintf("epochs %d, rebalances %d, skipped resizes %d; shares are the driver table installed via SetEPCShares at the last rebalance",
+		adaptive.fleet.Epochs, adaptive.fleet.Rebalances, adaptive.fleet.Skips)
+	for _, ten := range adaptive.fleet.Tenants {
+		ct.AddRow(fmt.Sprintf("enclave %d", ten.Enclave),
+			ten.ShareFrames, ten.ActiveFrames, ten.CapacityFrames, ten.Demand, ten.Skips)
+	}
+
+	return &Result{
+		ID:     "fleet",
+		Title:  "Fleet ballooning: demand-driven PRM shares vs static even split",
+		Tables: []*report.Table{t, ct},
+	}, nil
+}

@@ -1,0 +1,605 @@
+// Package fleet is the fleet-scale adaptive EPC++ balloon controller of
+// ROADMAP item 1: a deterministic epoch controller (in the internal/tune
+// mold) that continuously rebalances PRM shares across a fleet of
+// enclaves from live demand signals instead of the driver's static even
+// split. The paper's ballooning (§3.3, Fig 9) makes every enclave chase
+// the even-split ioctl; with mixed tenants under shifting load that
+// starves the hot tenant while cold tenants hoard EPC++ — the
+// demand-driven sizing argument of "Adaptive and Efficient Dynamic
+// Memory Management for Hardware Enclaves" (PAPERS.md, arXiv
+// 2504.16251).
+//
+// Each epoch the controller samples every registered heap's
+// BalloonSignal (the fault/coalesce/wait/evict-scan counters PR-2
+// introduced and internal/tune reserved for this consumer), folds the
+// deltas into one demand figure per tenant, and computes a share
+// vector: a floor per tenant, the rest of usable PRM split
+// demand-proportionally, capped at what each heap can actually use.
+// After grow/shrink hysteresis agrees, it installs the vector through
+// the driver's SetEPCShares ioctl and then drives each changed heap
+// through BalloonTarget/ApplyBalloonTarget + ReclaimFreePool on a
+// controller-owned per-tenant thread — resizes run as exclusive phases
+// of each heap's fault pipeline while the other tenants keep faulting.
+//
+// Every decision input is a virtual-cycle counter or a deterministic
+// integer derived from one; leftover frames from the proportional split
+// are placed in fixed registration order. A single-threaded drive
+// therefore produces a bit-identical decision trace on every run — the
+// same contract internal/tune pins, tested the same way.
+//
+// Trust domain: trusted — Pump runs on enclave serving threads, touches
+// the suvm facade and the platform driver only.
+//
+//eleos:trusted
+//eleos:deterministic
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"eleos/internal/phys"
+	"eleos/internal/sgx"
+	"eleos/internal/suvm"
+)
+
+// Demand weighting: one scalar per tenant per epoch, formed from the
+// BalloonSignal deltas. Faults dominate (they are the direct cost of a
+// too-small EPC++), coalesced faults count the pressure multi-threaded
+// tenants hide behind the winner's page-in, wait cycles and evict-scan
+// work are divided down to comparable magnitude. Fixed constants, not
+// policy knobs: the weights only need to rank tenants against each
+// other, and fixed weights keep the trace stable across policies.
+const (
+	demandFaultWeight    = 4
+	demandCoalesceWeight = 2
+	demandWaitShift      = 10 // FaultWaitCycles / 1024
+	demandScanShift      = 3  // EvictScanFrames / 8
+
+	// demandDecayShift smooths the per-epoch scalar asymmetrically:
+	// demand rises to a new peak instantly but decays by only 1/4 per
+	// epoch. Raw fault counts are self-extinguishing — the epoch after a
+	// grown tenant's working set finally fits, its faults stop, and a
+	// proportional split over raw demand would immediately confiscate
+	// the very frames that satisfied it, re-faulting the working set in
+	// an endless grow/shrink oscillation. The slow decay keeps a
+	// recently-hot tenant's claim alive until a competitor shows
+	// *sustained* higher demand, so phase shifts converge in one or two
+	// rebalances instead of ping-ponging every few epochs.
+	demandDecayShift = 2
+)
+
+// freePoolFraction mirrors suvm's swapper constant: after a resize the
+// controller tops each changed heap's free pool up to 1/32 of its
+// active frames, moving eviction work off the tenants' fault paths.
+const freePoolFraction = 32
+
+// Policy tunes the controller. Zero fields select their defaults;
+// Default() returns the fully-populated defaults.
+type Policy struct {
+	// EpochCycles is the decision period in virtual cycles of the
+	// pumping thread (default 1e6).
+	EpochCycles uint64
+	// MinShareFrames is each tenant's PRM share floor in 4 KiB frames
+	// (default 64; clamped down when the fleet outgrows the machine).
+	MinShareFrames int
+	// Hysteresis is how many consecutive deviating epochs must agree
+	// before a rebalance that only grows shares is applied (default 2);
+	// ShrinkHysteresis gates rebalances that take EPC++ away from any
+	// tenant (default 2×Hysteresis) — scale up fast, down slowly.
+	Hysteresis       int
+	ShrinkHysteresis int
+	// DeadbandFrac is the relative share change below which a tenant's
+	// deviation is ignored (default 0.10): rebalances fire only for
+	// shifts worth the exclusive resize phases they cost.
+	DeadbandFrac float64
+	// MinDemand is the raw per-epoch demand some tenant must reach
+	// before a rebalance can fire (default 64, i.e. 16 major faults per
+	// epoch). Fault-driven demand is self-extinguishing: the tenant the
+	// last rebalance satisfied goes quiet while everyone's residual
+	// fault noise keeps trickling, so without an absolute activity gate
+	// the proportional split slowly confiscates the winner's frames
+	// until it thrashes again, oscillating forever. Below the gate the
+	// installed shares are simply kept.
+	MinDemand uint64
+	// TraceCap bounds the recorded decision trace (default 4096).
+	TraceCap int
+}
+
+// Default returns the default policy.
+func Default() Policy {
+	return Policy{
+		EpochCycles:      1_000_000,
+		MinShareFrames:   64,
+		Hysteresis:       2,
+		ShrinkHysteresis: 4,
+		DeadbandFrac:     0.10,
+		MinDemand:        64,
+		TraceCap:         4096,
+	}
+}
+
+// normalized fills zero fields with their defaults.
+func (p Policy) normalized() Policy {
+	d := Default()
+	if p.EpochCycles == 0 {
+		p.EpochCycles = d.EpochCycles
+	}
+	if p.MinShareFrames == 0 {
+		p.MinShareFrames = d.MinShareFrames
+	}
+	if p.Hysteresis == 0 {
+		p.Hysteresis = d.Hysteresis
+	}
+	if p.ShrinkHysteresis == 0 {
+		p.ShrinkHysteresis = 2 * p.Hysteresis
+	}
+	if p.DeadbandFrac == 0 {
+		p.DeadbandFrac = d.DeadbandFrac
+	}
+	if p.MinDemand == 0 {
+		p.MinDemand = d.MinDemand
+	}
+	if p.TraceCap == 0 {
+		p.TraceCap = d.TraceCap
+	}
+	return p
+}
+
+func (p Policy) validate() error {
+	switch {
+	case p.MinShareFrames < 8:
+		// BalloonTarget keeps 25% headroom, so a share below 8 frames
+		// could balloon a heap under its own 4-frame floor.
+		return fmt.Errorf("fleet: MinShareFrames %d < 8", p.MinShareFrames)
+	case p.DeadbandFrac < 0 || p.DeadbandFrac >= 1:
+		return fmt.Errorf("fleet: DeadbandFrac %g outside [0, 1)", p.DeadbandFrac)
+	case p.Hysteresis < 1:
+		return fmt.Errorf("fleet: Hysteresis %d < 1", p.Hysteresis)
+	case p.ShrinkHysteresis < p.Hysteresis:
+		return fmt.Errorf("fleet: ShrinkHysteresis %d < Hysteresis %d", p.ShrinkHysteresis, p.Hysteresis)
+	}
+	return nil
+}
+
+// tenant is one registered heap with its controller-side state.
+type tenant struct {
+	h  *suvm.Heap
+	id int // enclave id, the driver share-table key
+	// th is the controller-owned apply thread: resizes and reclaims are
+	// charged to it, off the tenant's serving threads.
+	th *sgx.Thread
+
+	prev        suvm.BalloonSignal
+	shareFrames int    // current installed PRM share (4 KiB frames); 0 before the first rebalance
+	demand      uint64 // smoothed demand: instant rise, 1/4 decay per epoch
+	skips       uint64
+}
+
+// TenantDecision is one tenant's slice of an epoch decision.
+type TenantDecision struct {
+	// Enclave is the tenant's enclave id (the share-table key).
+	Enclave int
+	// Demand is the epoch's weighted demand scalar.
+	Demand uint64
+	// ShareFrames is the PRM share the controller wants for the tenant
+	// (4 KiB frames); TargetBytes the EPC++ capacity that share balloons
+	// to (BalloonTarget of the share).
+	ShareFrames int
+	TargetBytes uint64
+	// Applied is set when this epoch resized the tenant's heap; Skipped
+	// when the resize was attempted and refused (pinned frame).
+	Applied bool
+	Skipped bool
+}
+
+// Decision is one epoch's outcome. Derived from virtual-cycle counters
+// and fixed-order integer arithmetic only, so a single-driver run
+// yields an identical decision sequence every time.
+type Decision struct {
+	// Epoch is the 1-based decision ordinal; Cycles the pumping
+	// thread's clock at the boundary.
+	Epoch  uint64
+	Cycles uint64
+	// Votes is the rebalance vote count after this epoch; Rebalanced is
+	// set when this epoch installed a new share table.
+	Votes      int
+	Rebalanced bool
+	// Tenants is the per-tenant breakdown, in registration order.
+	Tenants []TenantDecision
+}
+
+// TenantStats is one tenant's slice of a controller snapshot.
+type TenantStats struct {
+	Enclave        int
+	ShareFrames    int
+	ActiveFrames   int
+	CapacityFrames int
+	Demand         uint64
+	// Skips counts refused resizes (pinned frames) for this tenant.
+	Skips uint64
+}
+
+// Stats is a snapshot of the controller.
+type Stats struct {
+	// Enabled distinguishes a live controller from the zero value the
+	// unified RuntimeStats tree reports when fleet ballooning is off.
+	Enabled bool
+	// Epochs counts decisions taken, Rebalances the ones that installed
+	// a new share table, Skips the refused resizes across all tenants.
+	Epochs     uint64
+	Rebalances uint64
+	Skips      uint64
+	// Tenants is the per-tenant state, in registration order.
+	Tenants []TenantStats
+}
+
+// Controller is the fleet balloon feedback loop. One controller owns
+// one driver's share table; any number of serving threads may Pump it
+// (an internal mutex serializes epochs), but determinism of the
+// decision sequence is guaranteed only for a single pumping thread.
+type Controller struct {
+	pol    Policy
+	driver *sgx.Driver
+
+	// mu serializes epoch evaluation. Epochs call ResizeTo /
+	// ReclaimFreePool (suvm epoch, rank 10) and SetEPCShares (driver,
+	// rank 110) while holding it, so it ranks below the whole suvm/sgx
+	// order.
+	//
+	//eleos:lockorder 4
+	mu sync.Mutex
+
+	tenants []*tenant
+
+	started    bool
+	lastStamp  uint64
+	epochs     uint64
+	rebalances uint64
+	votes      int
+
+	trace []Decision
+}
+
+// New builds a controller over the platform's driver. The policy's zero
+// fields take their defaults; the populated policy is validated.
+func New(d *sgx.Driver, pol Policy) (*Controller, error) {
+	if d == nil {
+		return nil, fmt.Errorf("fleet: nil driver")
+	}
+	pol = pol.normalized()
+	if err := pol.validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{pol: pol, driver: d}, nil
+}
+
+// Policy returns the controller's normalized policy.
+func (c *Controller) Policy() Policy { return c.pol }
+
+// Register adds a heap to the fleet. The controller creates its own
+// thread in the heap's enclave so resize write-backs are charged off
+// the tenant's serving threads. Call during setup (the runtime does it
+// from NewEnclave); the tenant joins the next epoch's sample.
+func (c *Controller) Register(h *suvm.Heap) {
+	t := &tenant{h: h, id: h.Enclave().ID(), th: h.Enclave().NewThread()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.prev = h.BalloonSignal()
+	c.tenants = append(c.tenants, t)
+}
+
+// Unregister removes a heap from the fleet (the runtime calls it from
+// Enclave.Destroy, before the heap quiesces). The tenant's share-table
+// entry is dropped immediately so the driver stops arbitrating for a
+// dying enclave.
+func (c *Controller) Unregister(h *suvm.Heap) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, t := range c.tenants {
+		if t.h == h {
+			c.tenants = append(c.tenants[:i], c.tenants[i+1:]...)
+			break
+		}
+	}
+	c.pushSharesLocked()
+}
+
+// pushSharesLocked installs the current per-tenant shares as the
+// driver's share table (or resets to the even split while no rebalance
+// has assigned shares yet).
+func (c *Controller) pushSharesLocked() {
+	table := make(map[int]uint64, len(c.tenants))
+	for _, t := range c.tenants {
+		if t.shareFrames > 0 {
+			table[t.id] = uint64(t.shareFrames) * phys.PageSize
+		}
+	}
+	c.driver.SetEPCShares(table)
+}
+
+// Pump gives the controller a chance to act. Cheap off-epoch (one clock
+// comparison under the mutex); on an epoch boundary it samples every
+// tenant, votes, and applies any rebalance. Returns true when an epoch
+// fired. th is the pumping thread; its virtual clock is the epoch
+// timebase.
+func (c *Controller) Pump(th *sgx.Thread) bool {
+	now := th.T.Cycles()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		c.started = true
+		c.lastStamp = now
+		for _, t := range c.tenants {
+			t.prev = t.h.BalloonSignal()
+		}
+		return false
+	}
+	if now < c.lastStamp+c.pol.EpochCycles {
+		return false
+	}
+	c.epoch(now)
+	return true
+}
+
+// demandOf folds one epoch's signal delta into the tenant's demand
+// scalar. A counter that went backwards means the heap's stats were
+// reset since the last epoch (a benchmark warm-up boundary); the
+// post-reset value is the whole delta then, not an underflowed uint64.
+func demandOf(prev, cur suvm.BalloonSignal) uint64 {
+	return demandFaultWeight*delta(prev.MajorFaults, cur.MajorFaults) +
+		demandCoalesceWeight*delta(prev.FaultsCoalesced, cur.FaultsCoalesced) +
+		delta(prev.FaultWaitCycles, cur.FaultWaitCycles)>>demandWaitShift +
+		delta(prev.EvictScanFrames, cur.EvictScanFrames)>>demandScanShift
+}
+
+func delta(prev, cur uint64) uint64 {
+	if cur < prev {
+		return cur
+	}
+	return cur - prev
+}
+
+// capFrames is the largest useful PRM share for a heap: the share whose
+// BalloonTarget reaches the configured EPC++ capacity (4/3 of it, for
+// the 25% headroom), in 4 KiB frames. Granting more would only idle.
+func capFrames(sig suvm.BalloonSignal) int {
+	capBytes := uint64(sig.CapacityFrames) * sig.PageBytes
+	shareBytes := capBytes + capBytes/3 + phys.PageSize
+	return int((shareBytes + phys.PageSize - 1) / phys.PageSize)
+}
+
+// epoch runs one decision with c.mu held.
+func (c *Controller) epoch(now uint64) {
+	c.lastStamp = now
+	c.epochs++
+
+	n := len(c.tenants)
+	if n == 0 {
+		return
+	}
+	sigs := make([]suvm.BalloonSignal, n)
+	demands := make([]uint64, n)
+	var totalDemand, maxRaw uint64
+	for i, t := range c.tenants {
+		sigs[i] = t.h.BalloonSignal()
+		raw := demandOf(t.prev, sigs[i])
+		t.prev = sigs[i]
+		if raw > maxRaw {
+			maxRaw = raw
+		}
+		if decayed := t.demand - t.demand>>demandDecayShift; raw > decayed {
+			t.demand = raw
+		} else {
+			t.demand = decayed
+		}
+		demands[i] = t.demand
+		totalDemand += demands[i]
+	}
+
+	want := c.sharesFor(sigs, demands, totalDemand)
+
+	// Vote: a rebalance is worth its exclusive resize phases only when
+	// some tenant is actively suffering (raw demand at the MinDemand
+	// gate) AND some tenant's share moves beyond the deadband. Epochs
+	// that would shrink any tenant need ShrinkHysteresis consecutive
+	// deviating epochs; grow-only epochs (slack from a destroyed
+	// tenant) just Hysteresis.
+	deviates, shrinks := false, false
+	if maxRaw >= c.pol.MinDemand {
+		for i, t := range c.tenants {
+			cur := t.shareFrames
+			band := int(c.pol.DeadbandFrac * float64(cur))
+			if band < 1 {
+				band = 1
+			}
+			switch {
+			case want[i] > cur+band:
+				deviates = true
+			case want[i] < cur-band:
+				deviates = true
+				if cur > 0 {
+					shrinks = true
+				}
+			}
+		}
+	}
+	rebalanced := false
+	if !deviates {
+		c.votes = 0
+	} else {
+		c.votes++
+		needed := c.pol.Hysteresis
+		if shrinks {
+			needed = c.pol.ShrinkHysteresis
+		}
+		if c.votes >= needed {
+			c.votes = 0
+			rebalanced = true
+		}
+	}
+
+	dec := Decision{Epoch: c.epochs, Cycles: now, Votes: c.votes, Rebalanced: rebalanced,
+		Tenants: make([]TenantDecision, n)}
+	for i, t := range c.tenants {
+		share := t.shareFrames
+		if rebalanced {
+			share = want[i]
+		}
+		dec.Tenants[i] = TenantDecision{
+			Enclave:     t.id,
+			Demand:      demands[i],
+			ShareFrames: share,
+			TargetBytes: t.h.BalloonTarget(uint64(share) * phys.PageSize),
+		}
+	}
+
+	if rebalanced {
+		c.rebalances++
+		c.applyLocked(want, dec.Tenants)
+	}
+
+	if c.pol.TraceCap < 0 || len(c.trace) < c.pol.TraceCap {
+		c.trace = append(c.trace, dec)
+	}
+}
+
+// sharesFor computes the desired share vector: a floor per tenant, the
+// remaining usable PRM split demand-proportionally (evenly when the
+// fleet is idle), capped at each heap's useful maximum, leftovers
+// placed in registration order.
+func (c *Controller) sharesFor(sigs []suvm.BalloonSignal, demands []uint64, totalDemand uint64) []int {
+	n := len(c.tenants)
+	budget := c.driver.NumFrames()
+	floor := c.pol.MinShareFrames
+	if floor*n > budget {
+		floor = budget / n
+	}
+	caps := make([]int, n)
+	want := make([]int, n)
+	for i := range c.tenants {
+		caps[i] = capFrames(sigs[i])
+		if caps[i] < floor {
+			caps[i] = floor
+		}
+		want[i] = floor
+	}
+	spare := budget - floor*n
+
+	// Demand-proportional split of the spare (even when idle).
+	assigned := 0
+	for i := range c.tenants {
+		var extra int
+		if totalDemand == 0 {
+			extra = spare / n
+		} else {
+			extra = int(uint64(spare) * demands[i] / totalDemand)
+		}
+		if want[i]+extra > caps[i] {
+			extra = caps[i] - want[i]
+		}
+		want[i] += extra
+		assigned += extra
+	}
+	// Leftovers (integer truncation, cap clipping) go to uncapped
+	// tenants in registration order — deterministic by construction.
+	for rem := spare - assigned; rem > 0; {
+		placed := false
+		for i := range c.tenants {
+			if want[i] < caps[i] {
+				give := caps[i] - want[i]
+				if give > rem {
+					give = rem
+				}
+				want[i] += give
+				rem -= give
+				placed = true
+				if rem == 0 {
+					break
+				}
+			}
+		}
+		if !placed {
+			break // every tenant capped; the driver keeps the slack
+		}
+	}
+	return want
+}
+
+// applyLocked installs the new share table and balloons every tenant
+// whose share changed: the table first (so the driver arbitrates
+// against the new shares while resizes run), then shrinks (returning
+// frames to the driver), then grows. Each tenant's resize and reclaim
+// run on the controller's per-tenant thread as exclusive phases of that
+// heap's fault pipeline; the other tenants keep faulting throughout.
+func (c *Controller) applyLocked(want []int, decs []TenantDecision) {
+	old := make([]int, len(c.tenants))
+	for i, t := range c.tenants {
+		old[i] = t.shareFrames
+		t.shareFrames = want[i]
+	}
+	c.pushSharesLocked()
+	for pass := 0; pass < 2; pass++ {
+		for i, t := range c.tenants {
+			if want[i] == old[i] && old[i] != 0 {
+				continue
+			}
+			target := t.h.BalloonTarget(uint64(want[i]) * phys.PageSize)
+			// Shrinks run in pass 0 and grows in pass 1, classified by the
+			// heap's actual EPC++ size — not the share history — so the
+			// first rebalance cannot grow the hot tenant before the cold
+			// tenants have released their frames (transiently pinning the
+			// whole PRM).
+			sig := t.h.BalloonSignal()
+			grow := target > uint64(sig.ActiveFrames)*sig.PageBytes
+			if (pass == 0) == grow {
+				continue
+			}
+			t.th.Enter()
+			err := t.h.ApplyBalloonTarget(t.th, target)
+			if err == nil {
+				sig := t.h.BalloonSignal()
+				t.h.ReclaimFreePool(t.th, sig.ActiveFrames/freePoolFraction)
+				decs[i].Applied = true
+			} else {
+				t.skips++
+				decs[i].Skipped = true
+			}
+			t.th.Exit()
+		}
+	}
+}
+
+// Stats returns a snapshot of the controller.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{Enabled: true, Epochs: c.epochs, Rebalances: c.rebalances}
+	for _, t := range c.tenants {
+		sig := t.h.BalloonSignal()
+		st.Skips += t.skips
+		st.Tenants = append(st.Tenants, TenantStats{
+			Enclave:        t.id,
+			ShareFrames:    t.shareFrames,
+			ActiveFrames:   sig.ActiveFrames,
+			CapacityFrames: sig.CapacityFrames,
+			Demand:         t.demand,
+			Skips:          t.skips,
+		})
+	}
+	return st
+}
+
+// Trace returns a copy of the recorded decision sequence (bounded by
+// Policy.TraceCap). Two runs of the same single-threaded load yield
+// identical traces — the determinism contract the tests pin.
+func (c *Controller) Trace() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Decision, len(c.trace))
+	for i, d := range c.trace {
+		d.Tenants = append([]TenantDecision(nil), d.Tenants...)
+		out[i] = d
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package sgx
 
 import (
 	"fmt"
+	"maps"
 	"math"
 	"sort"
 	"sync"
@@ -22,6 +23,7 @@ type DriverStats struct {
 	Rounds         uint64 // background reclaim rounds
 	QueuedCycles   uint64 // virtual cycles faults spent queued on the driver
 	ContendedFault uint64 // faults that found the driver busy
+	ShareUpdates   uint64 // SetEPCShares ioctls installing a share table
 }
 
 // Driver simulates the (untrusted) Linux SGX kernel driver: it owns the
@@ -42,6 +44,13 @@ type Driver struct {
 	enclaves   map[int]*Enclave
 	evictBatch int
 	stats      DriverStats
+
+	// shares is the pluggable PRM share table (SetEPCShares): enclave id
+	// to share in bytes. Empty means the legacy policy — usable PRM split
+	// evenly among active enclaves — which quotaFramesLocked reproduces
+	// bit-for-bit. Enclaves absent from a non-empty table split whatever
+	// the listed shares leave over.
+	shares map[int]uint64
 
 	// busyUntil serializes fault handling in *virtual* time: the driver
 	// is one kernel-side resource, so concurrent faults from different
@@ -76,17 +85,63 @@ func (d *Driver) frameData(frame int32) []byte {
 // NumFrames returns the usable PRM size in frames.
 func (d *Driver) NumFrames() int { return len(d.frames) / phys.PageSize }
 
-// AvailableEPCBytes is the Eleos driver ioctl (§4.1): it reports the PRM
-// share available to one enclave under the driver's simple heuristic of
-// splitting usable PRM evenly among active enclaves.
+// AvailableEPCBytes is the Eleos driver ioctl (§4.1) for a caller with
+// no enclave identity: it reports the PRM share of an enclave not
+// listed in the share table. With the default (empty) table that is the
+// driver's classic heuristic — usable PRM split evenly among active
+// enclaves. Callers that know their enclave should prefer
+// AvailableEPCBytesFor, which honors SetEPCShares entries.
 func (d *Driver) AvailableEPCBytes() uint64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	n := len(d.enclaves)
-	if n == 0 {
-		n = 1
+	return uint64(d.unlistedQuotaLocked()) * phys.PageSize
+}
+
+// AvailableEPCBytesFor is the per-enclave form of the ioctl: the PRM
+// share of enclave id under the current share table (the even split
+// when no table is set). The query itself charges no cycles — like
+// AvailableEPCBytes, it models a cheap untrusted read the runtime's
+// swapper performs outside the enclave.
+func (d *Driver) AvailableEPCBytesFor(id int) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return uint64(d.quotaFramesLocked(id)) * phys.PageSize
+}
+
+// SetEPCShares installs a PRM share table: enclave id to share in
+// bytes (rounded down to whole frames). This is the Eleos extension's
+// second ioctl, issued by the untrusted runtime's fleet controller;
+// the driver itself stays policy-free and simply arbitrates against
+// the table — AvailableEPCBytesFor reports the listed share, and the
+// reclaim victim is scored by overage against it. Enclaves absent
+// from the table split the unlisted remainder evenly; passing a nil
+// or empty map restores the default even split exactly. The map is
+// copied; entries for ids with no live enclave are ignored until an
+// enclave with that id appears.
+func (d *Driver) SetEPCShares(shares map[int]uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(shares) == 0 {
+		d.shares = nil
+		return
 	}
-	return uint64(d.NumFrames()/n) * phys.PageSize
+	t := make(map[int]uint64, len(shares))
+	maps.Copy(t, shares)
+	d.shares = t
+	d.stats.ShareUpdates++
+}
+
+// EPCShares returns a copy of the installed share table (nil under the
+// default even-split policy).
+func (d *Driver) EPCShares() map[int]uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.shares == nil {
+		return nil
+	}
+	t := make(map[int]uint64, len(d.shares))
+	maps.Copy(t, d.shares)
+	return t
 }
 
 // Stats returns a snapshot of the driver counters.
@@ -133,14 +188,58 @@ func (d *Driver) unregister(e *Enclave) {
 	e.pagingMu.Unlock()
 }
 
-// quotaFrames is the per-enclave fair share under the even-split policy.
-// Must be called with d.mu held.
-func (d *Driver) quotaFrames() int {
+// quotaFramesLocked is the PRM share of enclave id in frames under the
+// current share table: the table entry when id is listed, an even cut
+// of the unlisted remainder otherwise (which, with no table at all, is
+// the classic even split). Must be called with d.mu held.
+func (d *Driver) quotaFramesLocked(id int) int {
+	if b, ok := d.shares[id]; ok {
+		q := int(b / phys.PageSize)
+		if q > d.NumFrames() {
+			q = d.NumFrames()
+		}
+		return q
+	}
+	return d.unlistedQuotaLocked()
+}
+
+// unlistedQuotaLocked is the frame share of an enclave with no entry in
+// the share table: the frames the listed shares leave over, split
+// evenly among the unlisted enclaves. With an empty table every enclave
+// is unlisted and this is exactly the historical NumFrames/n even
+// split. Must be called with d.mu held.
+func (d *Driver) unlistedQuotaLocked() int {
 	n := len(d.enclaves)
 	if n == 0 {
 		n = 1
 	}
-	return d.NumFrames() / n
+	if len(d.shares) == 0 {
+		return d.NumFrames() / n
+	}
+	// Walk live enclaves by sorted id: the sums are commutative, but the
+	// sorted walk keeps this symmetric with victim selection and trivially
+	// order-insensitive for the determinism checker.
+	ids := make([]int, 0, len(d.enclaves))
+	for id := range d.enclaves {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	listed, listedFrames := 0, 0
+	for _, id := range ids {
+		if b, ok := d.shares[id]; ok {
+			listed++
+			listedFrames += int(b / phys.PageSize)
+		}
+	}
+	unlisted := n - listed
+	if unlisted == 0 {
+		unlisted = 1
+	}
+	remaining := d.NumFrames() - listedFrames
+	if remaining < 0 {
+		remaining = 0
+	}
+	return remaining / unlisted
 }
 
 // fault services an EPC page fault for page idx of enclave e, raised by
@@ -276,10 +375,10 @@ func (d *Driver) reclaimLocked(th *Thread, faulting *Enclave) {
 }
 
 // pickVictimEnclaveLocked selects the enclave to reclaim from: the one
-// most over its fair PRM share, preferring enclaves with unpinned
-// resident pages. Called with d.mu held.
+// most over its PRM share under the current share table (its fair cut
+// of the even split when no table is installed), preferring enclaves
+// with unpinned resident pages. Called with d.mu held.
 func (d *Driver) pickVictimEnclaveLocked(faulting *Enclave) *Enclave {
-	quota := d.quotaFrames()
 	// Walk enclaves in id order: Go randomizes map iteration, and the
 	// score comparison below breaks ties in walk order — letting the
 	// map decide would let the victim choice (and with it the golden
@@ -298,7 +397,7 @@ func (d *Driver) pickVictimEnclaveLocked(faulting *Enclave) *Enclave {
 		if r == 0 {
 			continue
 		}
-		score := r - quota
+		score := r - d.quotaFramesLocked(id)
 		if score > bestScore {
 			best, bestScore = e, score
 		}
@@ -317,8 +416,12 @@ func (d *Driver) pickVictimEnclaveLocked(faulting *Enclave) *Enclave {
 func (d *Driver) evictOneLocked(th *Thread, v *Enclave) bool {
 	for pass := 0; pass < 2; pass++ {
 		// Bound the sweep: one full circuit for the accessed-bit clock,
-		// per pass.
-		for sweep := 0; sweep < len(v.resident)+1 && len(v.resident) > 0; sweep++ {
+		// per pass. Stale-entry drops don't count against the budget —
+		// they shrink len(v.resident) while the loop runs, and charging
+		// them too would end the sweep before one true circuit when the
+		// list is heavily polluted (e.g. right after a balloon shrink
+		// freed half the pool), making reclaim miss evictable pages.
+		for sweep := 0; sweep < len(v.resident)+1 && len(v.resident) > 0; {
 			if v.clockHand >= len(v.resident) {
 				v.clockHand = 0
 			}
@@ -330,6 +433,7 @@ func (d *Driver) evictOneLocked(th *Thread, v *Enclave) bool {
 				v.resident = v.resident[:len(v.resident)-1]
 				continue
 			}
+			sweep++
 			if pass == 0 && p.pinned {
 				v.clockHand++
 				continue

@@ -1,0 +1,214 @@
+package sgx
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"eleos/internal/phys"
+)
+
+// Share-table arbitration (SetEPCShares): per-enclave quotas, the
+// unlisted remainder, victim scoring against non-even shares, and
+// rebalance-under-load safety.
+
+func TestShareTableQuotas(t *testing.T) {
+	p := testPlatform(t, 4<<20) // 1024 frames
+	e1, _ := p.NewEnclave()
+	e2, _ := p.NewEnclave()
+	e3, _ := p.NewEnclave()
+	defer e1.Destroy()
+	defer e2.Destroy()
+	defer e3.Destroy()
+
+	// Default: the classic even split, for listed and legacy ioctls alike.
+	even := uint64(1024/3) * phys.PageSize
+	for _, e := range []*Enclave{e1, e2, e3} {
+		if got := p.Driver.AvailableEPCBytesFor(e.ID()); got != even {
+			t.Fatalf("default share for enclave %d = %d, want %d", e.ID(), got, even)
+		}
+	}
+	if got := p.Driver.AvailableEPCBytes(); got != even {
+		t.Fatalf("legacy ioctl = %d, want %d", got, even)
+	}
+	if p.Driver.EPCShares() != nil {
+		t.Fatal("share table non-nil before any install")
+	}
+
+	// Listed enclave gets its table entry; unlisted ones split the rest.
+	p.Driver.SetEPCShares(map[int]uint64{e1.ID(): 2 << 20})
+	if got := p.Driver.AvailableEPCBytesFor(e1.ID()); got != 2<<20 {
+		t.Fatalf("listed share = %d, want %d", got, 2<<20)
+	}
+	rest := uint64((1024-512)/2) * phys.PageSize // 1 MiB
+	for _, e := range []*Enclave{e2, e3} {
+		if got := p.Driver.AvailableEPCBytesFor(e.ID()); got != rest {
+			t.Fatalf("unlisted share for enclave %d = %d, want %d", e.ID(), got, rest)
+		}
+	}
+	if got := p.Driver.AvailableEPCBytes(); got != rest {
+		t.Fatalf("legacy ioctl under a table = %d, want unlisted share %d", got, rest)
+	}
+	if got := p.Driver.EPCShares(); !reflect.DeepEqual(got, map[int]uint64{e1.ID(): 2 << 20}) {
+		t.Fatalf("EPCShares = %v", got)
+	}
+
+	// A share beyond the machine clamps to the whole PRM; entries for ids
+	// with no live enclave don't eat into the unlisted remainder.
+	p.Driver.SetEPCShares(map[int]uint64{e1.ID(): 1 << 30, 9999: 1 << 30})
+	if got := p.Driver.AvailableEPCBytesFor(e1.ID()); got != 4<<20 {
+		t.Fatalf("oversized share clamped to %d, want whole PRM %d", got, 4<<20)
+	}
+	if got := p.Driver.AvailableEPCBytesFor(e2.ID()); got != 0 {
+		t.Fatalf("unlisted share with PRM fully promised = %d, want 0", got)
+	}
+
+	// Clearing restores the even split bit-for-bit, and only installs
+	// count as ShareUpdates.
+	p.Driver.SetEPCShares(nil)
+	if got := p.Driver.AvailableEPCBytesFor(e2.ID()); got != even {
+		t.Fatalf("share after clear = %d, want %d", got, even)
+	}
+	if p.Driver.EPCShares() != nil {
+		t.Fatal("share table survives a clear")
+	}
+	if got := p.Driver.Stats().ShareUpdates; got != 2 {
+		t.Fatalf("ShareUpdates = %d, want 2", got)
+	}
+}
+
+// TestVictimSelectionHonorsShares pins reclaim scoring to the table:
+// with both enclaves equally resident, the one whose share was cut must
+// absorb the evictions.
+func TestVictimSelectionHonorsShares(t *testing.T) {
+	p := testPlatform(t, 1<<20) // 256 frames
+	e1, _ := p.NewEnclave()
+	e2, _ := p.NewEnclave()
+	defer e1.Destroy()
+	defer e2.Destroy()
+	th1, th2 := enterThread(t, e1), enterThread(t, e2)
+
+	buf := make([]byte, phys.PageSize)
+	touch := func(th *Thread, base uint64, pages int) {
+		for i := 0; i < pages; i++ {
+			th.Write(base+uint64(i)*phys.PageSize, buf)
+		}
+	}
+	// e2 fills its 128 pages; then, with e2's share cut to 32 frames,
+	// e1 faults in 224 pages. The last 96 faults run reclaim rounds that
+	// must all score e2 as the victim (resident 128 − quota 32 = +96 vs
+	// e1's ≤ 0) even though e1 is the enclave doing the faulting.
+	a1 := e1.AllocPages(224)
+	a2 := e2.AllocPages(128)
+	touch(th2, a2, 128)
+	p.Driver.SetEPCShares(map[int]uint64{
+		e1.ID(): 224 * phys.PageSize,
+		e2.ID(): 32 * phys.PageSize,
+	})
+	touch(th1, a1, 224)
+	_, _, _, ev1, _ := e1.Stats().Snapshot()
+	_, _, _, ev2, _ := e2.Stats().Snapshot()
+	if ev2 < 64 {
+		t.Fatalf("under-share enclave absorbed only %d evictions", ev2)
+	}
+	if ev1 > ev2/4 {
+		t.Fatalf("evictions not steered by shares: e1=%d e2=%d", ev1, ev2)
+	}
+
+	// Flip the table and the pressure must follow: e2 re-faults its
+	// evicted pages and every round now reclaims from e1.
+	p.Driver.SetEPCShares(map[int]uint64{
+		e1.ID(): 32 * phys.PageSize,
+		e2.ID(): 224 * phys.PageSize,
+	})
+	touch(th2, a2, 128)
+	_, _, _, ev1b, _ := e1.Stats().Snapshot()
+	if ev1b <= ev1 {
+		t.Fatal("flipping the table did not move eviction pressure to e1")
+	}
+}
+
+// TestShareWalkDeterministic pins the sorted-id walk: repeated quota
+// queries and victim-driven reclaims under the same table give identical
+// results regardless of map iteration order.
+func TestShareWalkDeterministic(t *testing.T) {
+	run := func() []uint64 {
+		p := testPlatform(t, 1<<20)
+		var encls []*Enclave
+		for i := 0; i < 5; i++ {
+			e, _ := p.NewEnclave()
+			encls = append(encls, e)
+		}
+		p.Driver.SetEPCShares(map[int]uint64{
+			encls[1].ID(): 64 * phys.PageSize,
+			encls[3].ID(): 32 * phys.PageSize,
+		})
+		var out []uint64
+		for _, e := range encls {
+			out = append(out, p.Driver.AvailableEPCBytesFor(e.ID()))
+		}
+		th := enterThread(t, encls[0])
+		buf := make([]byte, phys.PageSize)
+		a := encls[0].AllocPages(300) // > PRM: forces reclaim rounds
+		for i := 0; i < 300; i++ {
+			th.Write(a+uint64(i)*phys.PageSize, buf)
+		}
+		out = append(out, th.T.Cycles(), p.Driver.Stats().Evictions)
+		return out
+	}
+	r1, r2 := run(), run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("share arbitration not deterministic:\nrun1 %v\nrun2 %v", r1, r2)
+	}
+}
+
+// TestShareRebalanceUnderLoadRace drives two faulting tenants while a
+// third goroutine keeps swapping the share table — the fleet
+// controller's rebalance racing live faults. Run under -race; the
+// assertions only sanity-check liveness.
+func TestShareRebalanceUnderLoadRace(t *testing.T) {
+	p := testPlatform(t, 1<<20)
+	e1, _ := p.NewEnclave()
+	e2, _ := p.NewEnclave()
+	defer e1.Destroy()
+	defer e2.Destroy()
+
+	var wg sync.WaitGroup
+	fault := func(e *Enclave) {
+		defer wg.Done()
+		th := e.NewThread()
+		th.Enter()
+		defer th.Exit()
+		buf := make([]byte, phys.PageSize)
+		a := e.AllocPages(192)
+		for round := 0; round < 6; round++ {
+			for i := 0; i < 192; i++ {
+				th.Write(a+uint64(i)*phys.PageSize, buf)
+			}
+		}
+	}
+	wg.Add(3)
+	go fault(e1)
+	go fault(e2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			big, small := e1.ID(), e2.ID()
+			if i%2 == 1 {
+				big, small = small, big
+			}
+			p.Driver.SetEPCShares(map[int]uint64{
+				big:   192 * phys.PageSize,
+				small: 64 * phys.PageSize,
+			})
+		}
+		p.Driver.SetEPCShares(nil)
+	}()
+	wg.Wait()
+	if got := p.Driver.Stats().ShareUpdates; got != 400 {
+		t.Fatalf("ShareUpdates = %d, want 400", got)
+	}
+	if p.Driver.EPCShares() != nil {
+		t.Fatal("table not cleared at the end")
+	}
+}

@@ -1,0 +1,76 @@
+package suvm
+
+import (
+	"strings"
+	"testing"
+
+	"eleos/internal/sgx"
+)
+
+// Regression test for the silently-failing swapper tick: TickNow
+// discards BalloonTick's error by design (best effort, next tick
+// retries), so the refusal must surface in the heap stats — otherwise a
+// heap whose shrink is permanently blocked just stops ballooning with
+// no trace.
+func TestBalloonSkipSurfacesInStats(t *testing.T) {
+	plat, err := sgx.NewPlatform(sgx.Config{UsablePRMBytes: 1 << 20}) // 256 frames
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := plat.NewEnclave()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := encl.NewThread()
+	th.Enter()
+	// EPC++ sized to the whole PRM: the first tick must deflate to 3/4
+	// of the driver share (192 frames).
+	h, err := New(encl, th, Config{PageCacheBytes: 1 << 20, BackingBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin every frame with linked spointers so the shrink cannot pick a
+	// victim.
+	var pinned []*SPtr
+	for i := 0; i < 256; i++ {
+		p, err := h.Malloc(4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Write(th, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, p)
+	}
+	sw := h.NewSwapper()
+	sw.TickNow()
+	st := h.Stats()
+	if st.BalloonSkips != 1 {
+		t.Fatalf("BalloonSkips = %d after a blocked tick, want 1", st.BalloonSkips)
+	}
+	if !strings.Contains(st.LastBalloonErr, "pinned") {
+		t.Fatalf("LastBalloonErr = %q, want the pinned-frame refusal", st.LastBalloonErr)
+	}
+	if got := h.ActiveFrames(); got != 256 {
+		t.Fatalf("blocked tick changed ActiveFrames to %d", got)
+	}
+
+	// Unpinning lets the next tick succeed; the skip record stays (it is
+	// a cumulative counter plus the LAST error) until ResetStats.
+	for _, p := range pinned {
+		p.Unlink(th)
+	}
+	sw.TickNow()
+	st = h.Stats()
+	if st.BalloonSkips != 1 {
+		t.Fatalf("BalloonSkips = %d after a clean tick, want still 1", st.BalloonSkips)
+	}
+	if got := h.ActiveFrames(); got != 192 {
+		t.Fatalf("ActiveFrames = %d after unblocked tick, want 192", got)
+	}
+	h.ResetStats()
+	st = h.Stats()
+	if st.BalloonSkips != 0 || st.LastBalloonErr != "" {
+		t.Fatalf("skip record survives ResetStats: %d %q", st.BalloonSkips, st.LastBalloonErr)
+	}
+}

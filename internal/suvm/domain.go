@@ -3,6 +3,7 @@ package suvm
 import (
 	"fmt"
 
+	"eleos/internal/phys"
 	"eleos/internal/sgx"
 )
 
@@ -68,10 +69,11 @@ type DomainConfig struct {
 // Domain is one carved sub-heap. Safe for concurrent use by the
 // enclave's threads, like the Heap itself.
 type Domain struct {
-	h     *Heap
-	name  string
-	start int // first frame index of the carved range
-	count int // number of carved frames
+	h      *Heap
+	name   string
+	start  int // first frame index of the carved range
+	count  int // number of carved frames
+	active int // enabled frames in [start, start+active); ≤ count, shrunk by ballooning (under the exclusive resize epoch)
 
 	free *framePool // free frames of the carved range
 	ev   evictor    // victim selection within the carved range
@@ -128,13 +130,14 @@ func (h *Heap) NewDomain(th *sgx.Thread, cfg DomainConfig) (*Domain, error) {
 		}
 	}
 	d := &Domain{
-		h:     h,
-		name:  cfg.Name,
-		start: newActive,
-		count: count,
-		free:  newFramePool(newActive, count),
-		ev:    newEvictor(cfg.Policy, seed),
-		quota: cfg.BackingQuota,
+		h:      h,
+		name:   cfg.Name,
+		start:  newActive,
+		count:  count,
+		active: count,
+		free:   newFramePool(newActive, count),
+		ev:     newEvictor(cfg.Policy, seed),
+		quota:  cfg.BackingQuota,
 	}
 	// Drop the carved frames from the root's free pools and tag them.
 	h.free.filter(func(f int32) bool { return int(f) < newActive })
@@ -157,12 +160,13 @@ func (h *Heap) domainList() []*Domain {
 }
 
 // domainRange returns the frame range victim selection may scan for
-// domain d (nil = the root domain).
+// domain d (nil = the root domain). A ballooned-down domain exposes
+// only its active prefix, so evictors never sweep disabled frames.
 func (h *Heap) domainRange(d *Domain) (start, active int) {
 	if d == nil {
 		return 0, h.activeFrames
 	}
-	return d.start, d.count
+	return d.start, d.active
 }
 
 // domStats returns the event counters accesses on behalf of domain d
@@ -190,6 +194,199 @@ func (d *Domain) Heap() *Heap { return d.h }
 
 // EPCFrames reports the domain's carved EPC++ capacity in pages.
 func (d *Domain) EPCFrames() int { return d.count }
+
+// ActiveFrames reports the domain's currently enabled EPC++ frames
+// (≤ EPCFrames; ballooning shrinks and regrows it proportionally).
+func (d *Domain) ActiveFrames() int {
+	d.h.epoch.RLock()
+	defer d.h.epoch.RUnlock()
+	return d.active
+}
+
+// resizeUnit is one proportionally balloonable carve of the heap's
+// frame array: the root prefix or one domain. base..base+cap is the
+// unit's fixed frame range; active its enabled prefix.
+type resizeUnit struct {
+	d      *Domain // nil for the root
+	base   int
+	cap    int
+	active int
+	floor  int
+	pool   *framePool
+}
+
+// resizeDomainsLocked balloons a heap with carved domains: target is
+// the TOTAL active frame count (root + every domain) and each unit is
+// scaled proportionally to its current size, clamped to [floor, carve
+// capacity]. Leftover frames from the integer division are placed one
+// at a time in fixed order — root first, then domains in carve order —
+// so the split is deterministic. Shrinks run before grows so vacated
+// EPC pages return to the driver before new ones are pinned. Called
+// with the exclusive resize epoch held.
+//
+// A pinned frame aborts the resize mid-way with the completed units
+// already applied — the same best-effort contract as shrinkLocked; the
+// next balloon tick retries from the new geometry.
+func (h *Heap) resizeDomainsLocked(th *sgx.Thread, target int, doms []*Domain) error {
+	units := make([]*resizeUnit, 0, 1+len(doms))
+	// The root's growable ceiling is the bottom of the lowest carve
+	// (carves stack downward from the top of the then-active range).
+	rootCap := len(h.frames)
+	for _, d := range doms {
+		if d.start < rootCap {
+			rootCap = d.start
+		}
+	}
+	units = append(units, &resizeUnit{base: 0, cap: rootCap, active: h.activeFrames, floor: 4, pool: h.free})
+	for _, d := range doms {
+		floor := 4
+		if d.count < floor {
+			floor = d.count
+		}
+		units = append(units, &resizeUnit{d: d, base: d.start, cap: d.count, active: d.active, floor: floor, pool: d.free})
+	}
+	total, floorSum, capSum := 0, 0, 0
+	for _, u := range units {
+		total += u.active
+		floorSum += u.floor
+		capSum += u.cap
+	}
+	if target < floorSum {
+		target = floorSum
+	}
+	if target > capSum {
+		target = capSum
+	}
+	if target == total {
+		return nil
+	}
+	h.stats.resizes.Add(1)
+
+	// Proportional split by current size, clamped per unit.
+	want := make([]int, len(units))
+	assigned := 0
+	for i, u := range units {
+		w := int(int64(target) * int64(u.active) / int64(total))
+		if w < u.floor {
+			w = u.floor
+		}
+		if w > u.cap {
+			w = u.cap
+		}
+		want[i] = w
+		assigned += w
+	}
+	// Distribute the remainder one frame at a time in fixed unit order.
+	// target ∈ [floorSum, capSum] guarantees the loop drains.
+	for rem := target - assigned; rem != 0; {
+		for i, u := range units {
+			if rem > 0 && want[i] < u.cap {
+				want[i]++
+				rem--
+			} else if rem < 0 && want[i] > u.floor {
+				want[i]--
+				rem++
+			}
+			if rem == 0 {
+				break
+			}
+		}
+	}
+
+	// Shrinks first (frames back to the driver), then grows.
+	for i, u := range units {
+		if want[i] < u.active {
+			if err := h.shrinkUnitLocked(th, u, want[i]); err != nil {
+				return err
+			}
+		}
+	}
+	for i, u := range units {
+		if want[i] > u.active {
+			h.growUnitLocked(th, u, want[i])
+		}
+	}
+	return nil
+}
+
+// pinnedEdge is the 4 KiB-aligned boundary between a unit's pinned
+// prefix and its released suffix when its first a frames are active:
+// whole EPC pages at or above it (and fully inside the unit) are
+// released. Aligning up keeps any page shared with an active frame
+// pinned.
+func (h *Heap) pinnedEdge(u *resizeUnit, a int) uint64 {
+	off := uint64(u.base+a) * h.pageSize
+	return (off + phys.PageSize - 1) &^ (phys.PageSize - 1)
+}
+
+// unitCeil is the highest byte a unit may release or pin: the last 4 KiB
+// boundary fully inside its carve (a tail page shared with the next
+// unit's frames stays pinned permanently).
+func (h *Heap) unitCeil(u *resizeUnit) uint64 {
+	return (uint64(u.base+u.cap) * h.pageSize) &^ (phys.PageSize - 1)
+}
+
+// shrinkUnitLocked vacates one unit's top frames down to newActive:
+// evict contents (write-back if dirty, charged to th), disable the
+// frames, drop them from the unit's pool and return the fully vacated
+// EPC pages to the driver. Called with the exclusive epoch held.
+func (h *Heap) shrinkUnitLocked(th *sgx.Thread, u *resizeUnit, newActive int) error {
+	for f := u.base + u.active - 1; f >= u.base+newActive; f-- {
+		fm := &h.frames[f]
+		if fm.disabled {
+			continue
+		}
+		if fm.bsPage.Load() != noBSPage {
+			ok, _ := h.evictFrame(th, int32(f))
+			if !ok {
+				return fmt.Errorf("suvm: cannot shrink %s EPC++ to %d frames: frame %d is pinned by a linked spointer",
+					domName(u.d), newActive, f)
+			}
+		}
+		fm.disabled = true
+	}
+	u.pool.filter(func(f int32) bool { return !h.frames[f].disabled })
+	lo := h.pinnedEdge(u, newActive)
+	hi := h.pinnedEdge(u, u.active)
+	if ceil := h.unitCeil(u); hi > ceil {
+		hi = ceil
+	}
+	if hi > lo {
+		h.encl.FreePages(h.frameBase+lo, hi-lo)
+	}
+	h.setUnitActive(u, newActive)
+	return nil
+}
+
+// growUnitLocked re-enables one unit's frames up to newActive,
+// re-pinning the underlying EPC pages (charged to th) and returning the
+// frames to the unit's pool. Called with the exclusive epoch held.
+func (h *Heap) growUnitLocked(th *sgx.Thread, u *resizeUnit, newActive int) {
+	lo := h.pinnedEdge(u, u.active)
+	hi := h.pinnedEdge(u, newActive)
+	if ceil := h.unitCeil(u); hi > ceil {
+		hi = ceil
+	}
+	if hi > lo {
+		h.encl.Pin(th, h.frameBase+lo, hi-lo)
+	}
+	for f := u.base + newActive - 1; f >= u.base+u.active; f-- {
+		h.frames[f].disabled = false
+		h.frames[f].bsPage.Store(noBSPage)
+		u.pool.put(int32(f))
+	}
+	h.setUnitActive(u, newActive)
+}
+
+// setUnitActive records a unit's new active count on its owner.
+func (h *Heap) setUnitActive(u *resizeUnit, a int) {
+	u.active = a
+	if u.d == nil {
+		h.activeFrames = a
+	} else {
+		u.d.active = a
+	}
+}
 
 // Malloc allocates n bytes of the shared backing store, demand-cached
 // in the domain's own EPC++ frames. See Heap.Malloc.

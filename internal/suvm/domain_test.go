@@ -141,12 +141,71 @@ func TestDomainCarveValidation(t *testing.T) {
 	}
 }
 
-func TestResizeBlockedWhileDomainsCarved(t *testing.T) {
-	e := newEnv(t, Config{PageCacheBytes: 128 << 10, BackingBytes: 64 << 20})
-	if _, err := e.h.NewDomain(e.th, DomainConfig{Name: "svc", EPCBytes: 32 << 10}); err != nil {
+func TestResizeScalesDomainsProportionally(t *testing.T) {
+	e := newEnv(t, Config{PageCacheBytes: 128 << 10, BackingBytes: 64 << 20}) // 32 frames
+	d, err := e.h.NewDomain(e.th, DomainConfig{Name: "svc", EPCBytes: 32 << 10})
+	if err != nil {
 		t.Fatal(err)
 	}
-	if err := e.h.ResizeTo(e.th, 64<<10); !errors.Is(err, ErrBadConfig) {
-		t.Fatalf("resize under carved domains: got %v, want ErrBadConfig", err)
+	// Root 24 frames, domain 8. Halving the TOTAL to 16 frames must
+	// scale both carves proportionally: root 12, domain 4.
+	if err := e.h.ResizeTo(e.th, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.h.ActiveFrames(); got != 12 {
+		t.Fatalf("root active after proportional shrink: got %d, want 12", got)
+	}
+	if got := d.ActiveFrames(); got != 4 {
+		t.Fatalf("domain active after proportional shrink: got %d, want 4", got)
+	}
+	// The shrunk domain keeps paging: a working set twice its reduced
+	// carve still round-trips through its own evictor.
+	p, err := d.Malloc(32 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, 32<<10)
+	for i := range want {
+		want[i] = byte(i * 13)
+	}
+	if err := p.WriteAt(e.th, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if err := p.ReadAt(e.th, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("domain readback mismatch after proportional shrink")
+	}
+	// Growing back re-enables both carves to their full capacity.
+	if err := e.h.ResizeTo(e.th, 128<<10); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.h.ActiveFrames(); got != 24 {
+		t.Fatalf("root active after regrow: got %d, want 24", got)
+	}
+	if got := d.ActiveFrames(); got != 8 {
+		t.Fatalf("domain active after regrow: got %d, want 8", got)
+	}
+	if err := p.ReadAt(e.th, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("domain readback mismatch after regrow")
+	}
+	// Floors hold: shrinking to nothing leaves root 4 and domain
+	// min(4, carve) = 4 frames.
+	if err := e.h.ResizeTo(e.th, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.h.ActiveFrames(); got != 4 {
+		t.Fatalf("root active at floor: got %d, want 4", got)
+	}
+	if got := d.ActiveFrames(); got != 4 {
+		t.Fatalf("domain active at floor: got %d, want 4", got)
+	}
+	if err := d.Free(e.th, p); err != nil {
+		t.Fatal(err)
 	}
 }

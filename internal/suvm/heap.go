@@ -227,6 +227,11 @@ type Heap struct {
 	domains atomic.Pointer[[]*Domain]
 
 	stats Stats
+
+	// lastBalloonErr is the message of the most recent refused
+	// BalloonTick (see StatsSnapshot.LastBalloonErr); nil when no tick
+	// has been refused since the last ResetStats.
+	lastBalloonErr atomic.Pointer[string]
 }
 
 type allocInfo struct {
@@ -456,6 +461,9 @@ func (h *Heap) freeFrom(th *sgx.Thread, p *SPtr, owner *Domain) error {
 // carries the per-domain breakdown.
 func (h *Heap) Stats() StatsSnapshot {
 	snap := h.stats.snapshot()
+	if msg := h.lastBalloonErr.Load(); msg != nil {
+		snap.LastBalloonErr = *msg
+	}
 	doms := h.domainList()
 	if len(doms) == 0 {
 		return snap
@@ -473,6 +481,7 @@ func (h *Heap) Stats() StatsSnapshot {
 // (benchmark warm-up boundary).
 func (h *Heap) ResetStats() {
 	h.stats.reset()
+	h.lastBalloonErr.Store(nil)
 	for _, d := range h.domainList() {
 		d.stats.reset()
 	}

@@ -18,6 +18,7 @@ type Stats struct {
 	faultWaitCycles atomic.Uint64
 	evictScans      atomic.Uint64
 	evictScanFrames atomic.Uint64
+	balloonSkips    atomic.Uint64
 }
 
 // noteScan records one victim-selection pass that examined n frames.
@@ -68,6 +69,14 @@ type StatsSnapshot struct {
 	// EvictScanFrames/EvictScans is the policy's mean scan length.
 	EvictScans      uint64
 	EvictScanFrames uint64
+	// BalloonSkips counts BalloonTick calls whose resize was refused
+	// (e.g. a transiently pinned frame blocking a shrink), and
+	// LastBalloonErr carries the most recent refusal's message — so a
+	// heap whose swapper keeps discarding tick errors does not silently
+	// stop ballooning. Heap-level only: they are never set on domain
+	// snapshots and are excluded from add().
+	BalloonSkips   uint64
+	LastBalloonErr string
 
 	// Domains breaks the counters down per carved service domain
 	// (domain.go). Nil when the heap has no carved domains; when
@@ -100,6 +109,8 @@ func (s *StatsSnapshot) add(o *StatsSnapshot) {
 	s.FaultWaitCycles += o.FaultWaitCycles
 	s.EvictScans += o.EvictScans
 	s.EvictScanFrames += o.EvictScanFrames
+	// BalloonSkips and LastBalloonErr are heap-level (ballooning acts on
+	// the whole heap, never per domain) and deliberately not summed.
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
@@ -118,6 +129,7 @@ func (s *Stats) snapshot() StatsSnapshot {
 		FaultWaitCycles: s.faultWaitCycles.Load(),
 		EvictScans:      s.evictScans.Load(),
 		EvictScanFrames: s.evictScanFrames.Load(),
+		BalloonSkips:    s.balloonSkips.Load(),
 	}
 }
 
@@ -136,4 +148,5 @@ func (s *Stats) reset() {
 	s.faultWaitCycles.Store(0)
 	s.evictScans.Store(0)
 	s.evictScanFrames.Store(0)
+	s.balloonSkips.Store(0)
 }

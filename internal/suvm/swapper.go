@@ -18,6 +18,13 @@ import (
 // fixed the size at initialization), it works dynamically. Resizing is
 // an exclusive phase of the fault pipeline: it waits for in-flight
 // faults to drain and blocks new ones for its (short) duration.
+//
+// On a heap with carved service domains the target is the TOTAL EPC++
+// capacity (root plus every domain) and the balloon scales each carve
+// proportionally to its current size: the root keeps its ≥4-frame
+// floor, every domain keeps min(4, carve) frames, and leftover frames
+// are distributed in fixed order (root first, then carve order) so the
+// split is deterministic. See resizeDomainsLocked.
 func (h *Heap) ResizeTo(th *sgx.Thread, targetBytes uint64) error {
 	target := int(targetBytes / h.pageSize)
 	if target < 4 {
@@ -28,14 +35,11 @@ func (h *Heap) ResizeTo(th *sgx.Thread, targetBytes uint64) error {
 	}
 	h.epoch.Lock()
 	defer h.epoch.Unlock()
+	if doms := h.domainList(); len(doms) > 0 {
+		return h.resizeDomainsLocked(th, target, doms)
+	}
 	if target == h.activeFrames {
 		return nil
-	}
-	if len(h.domainList()) > 0 {
-		// Carved domains own fixed frame ranges at the top of the pool;
-		// resizing would move the boundary under them. Per-domain
-		// rebalancing is the fleet controller's job (ROADMAP item 1).
-		return fmt.Errorf("%w: cannot resize EPC++ while service domains are carved", ErrBadConfig)
 	}
 	h.stats.resizes.Add(1)
 	if target < h.activeFrames {
@@ -144,19 +148,92 @@ func (h *Heap) ReclaimFreePool(th *sgx.Thread, target int) int {
 	}
 }
 
+// BalloonTarget maps a driver-reported PRM share to the EPC++ capacity
+// the balloon should chase: the share minus 25% headroom for the
+// enclave's other memory (page tables, application heap), capped at the
+// configured PageCacheBytes. Pure policy, no state touched — the target
+// half of the BalloonTick split; the fleet controller uses it to turn
+// the shares it installs into per-heap resize targets.
+func (h *Heap) BalloonTarget(availBytes uint64) uint64 {
+	target := availBytes - availBytes/4
+	if target > h.cfg.PageCacheBytes {
+		target = h.cfg.PageCacheBytes
+	}
+	return target
+}
+
+// ApplyBalloonTarget resizes EPC++ to targetBytes — the application
+// half of the BalloonTick split, for callers (the fleet controller)
+// that computed the target themselves. Currently a named alias of
+// ResizeTo, kept separate so the balloon entry point is explicit.
+func (h *Heap) ApplyBalloonTarget(th *sgx.Thread, targetBytes uint64) error {
+	return h.ResizeTo(th, targetBytes)
+}
+
 // BalloonTick queries the SGX driver for this enclave's PRM share and
 // resizes EPC++ to fit inside it, leaving a fraction of headroom for the
 // enclave's other memory (page tables, application heap). This is the
 // cooperative memory management of §3.3 — the enclave-side analogue of
 // VM ballooning, except the trusted runtime can directly shrink its own
-// working set.
+// working set. A refused resize (e.g. a transiently pinned frame) is
+// recorded in the heap stats (BalloonSkips, LastBalloonErr) so skipped
+// ticks are observable even when the caller discards the error.
 func (h *Heap) BalloonTick(th *sgx.Thread) error {
-	avail := h.plat.Driver.AvailableEPCBytes()
-	target := avail - avail/4 // keep 25% headroom for non-EPC++ enclave memory
-	if target > h.cfg.PageCacheBytes {
-		target = h.cfg.PageCacheBytes
+	avail := h.plat.Driver.AvailableEPCBytesFor(h.encl.ID())
+	err := h.ApplyBalloonTarget(th, h.BalloonTarget(avail))
+	if err != nil {
+		h.stats.balloonSkips.Add(1)
+		msg := err.Error()
+		h.lastBalloonErr.Store(&msg)
 	}
-	return h.ResizeTo(th, target)
+	return err
+}
+
+// BalloonSignal is the demand half of the BalloonTick split: the
+// per-heap counters the fleet controller samples each epoch to decide
+// how PRM shares should move. All fields aggregate the root and every
+// carved domain.
+type BalloonSignal struct {
+	// ActiveFrames is the current total EPC++ capacity in pages and
+	// CapacityFrames the configured maximum; FreeFrames is the pooled
+	// free-frame count (racy by nature, like framePool.size).
+	ActiveFrames   int
+	CapacityFrames int
+	FreeFrames     int
+	// PageBytes is the heap's EPC++ page size.
+	PageBytes uint64
+	// Cumulative demand counters (see StatsSnapshot for semantics).
+	MajorFaults     uint64
+	FaultsCoalesced uint64
+	FaultWaitCycles uint64
+	EvictScans      uint64
+	EvictScanFrames uint64
+}
+
+// BalloonSignal samples the heap's demand counters for the fleet
+// controller. Reading charges no cycles: like Stats, it models the
+// untrusted runtime inspecting shared counters from outside.
+func (h *Heap) BalloonSignal() BalloonSignal {
+	s := h.Stats()
+	h.epoch.RLock()
+	active := h.activeFrames
+	free := h.free.size()
+	for _, d := range h.domainList() {
+		active += d.active
+		free += d.free.size()
+	}
+	h.epoch.RUnlock()
+	return BalloonSignal{
+		ActiveFrames:    active,
+		CapacityFrames:  len(h.frames),
+		FreeFrames:      free,
+		PageBytes:       h.pageSize,
+		MajorFaults:     s.MajorFaults,
+		FaultsCoalesced: s.FaultsCoalesced,
+		FaultWaitCycles: s.FaultWaitCycles,
+		EvictScans:      s.EvictScans,
+		EvictScanFrames: s.EvictScanFrames,
+	}
 }
 
 // Swapper is the EPC++ swapper of §3.2.3: a dedicated enclave thread

@@ -69,6 +69,20 @@ func WithAutoTune(p TunePolicy) Option {
 	})
 }
 
+// WithFleetBalloon enables the fleet-scale adaptive EPC++ balloon
+// controller: every enclave the runtime creates becomes a tenant, and
+// as serving loops drive Ctx.Pump the controller rebalances PRM shares
+// from each heap's live demand signals — installing them through the
+// driver's SetEPCShares ioctl and ballooning the heaps to match —
+// instead of leaving every enclave chasing the static even split. Zero
+// policy fields take the fleet package defaults.
+func WithFleetBalloon(p FleetPolicy) Option {
+	return optionFunc(func(c *Config) {
+		c.FleetBalloon = true
+		c.Fleet = p
+	})
+}
+
 // WithCATWays reserves n LLC ways for the RPC workers via cache
 // allocation technology; 0 disables partitioning.
 func WithCATWays(n int) Option {

@@ -19,6 +19,9 @@ type RuntimeStats struct {
 	// Tune is the self-tuning controller. Enabled is false (and the
 	// rest zero) when the runtime was built without autotuning.
 	Tune TuneStats
+	// Fleet is the fleet balloon controller. Enabled is false (and the
+	// rest zero) when the runtime was built without WithFleetBalloon.
+	Fleet FleetStats
 	// Services carries per-service rollups across all live enclaves, in
 	// enclave order then service creation order. Empty when no enclave
 	// has carved services.
@@ -67,6 +70,9 @@ func (r *Runtime) Stats() RuntimeStats {
 	}
 	if r.tuner != nil {
 		st.Tune = r.tuner.Stats()
+	}
+	if r.fleet != nil {
+		st.Fleet = r.fleet.Stats()
 	}
 	return st
 }
