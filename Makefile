@@ -8,14 +8,30 @@
 #                  plus staticcheck when it is installed
 #   make bench   — regenerate the exit-less I/O microbenchmark artifacts
 #                  (BENCH_rpc_async.json, BENCH_io_engine.json,
-#                  BENCH_selftune.json and BENCH_consolidation.json in
-#                  the repo root)
+#                  BENCH_selftune.json, BENCH_consolidation.json,
+#                  BENCH_fleet.json and BENCH_traffic.json in the repo
+#                  root)
+#   make bench-gate
+#                — the variance-aware perf gate: run the open-loop
+#                  traffic experiment at smoke size and compare against
+#                  the checked-in baseline with cmd/perfdiff; fails on
+#                  a significant regression or a shape change
+#   make bench-gate-baseline
+#                — regenerate the checked-in bench-gate baseline (run
+#                  after a deliberate performance or schema change)
 #   make test    — plain test run, no race detector
 
 GO ?= go
 BIN ?= bin
 
-.PHONY: check fmt vet build test race bench lint eleoslint staticcheck
+# The gate runs the traffic experiment at a fixed smoke size so the
+# checked-in baseline and the fresh run see identical schedules; all
+# numbers are virtual cycles, so on unchanged code the two files are
+# bit-identical on any host.
+GATE_FLAGS = -quick -ops 5000 -runs 3 -run traffic
+GATE_BASELINE = testdata/bench-gate
+
+.PHONY: check fmt vet build test race bench bench-gate bench-gate-baseline lint eleoslint staticcheck
 
 check: fmt vet build lint race
 
@@ -60,4 +76,12 @@ staticcheck:
 	fi
 
 bench:
-	$(GO) run ./cmd/eleos-bench -quick -run rpc-async,io-engine,selftune,consolidation,fleet -json .
+	$(GO) run ./cmd/eleos-bench -quick -run rpc-async,io-engine,selftune,consolidation,fleet,traffic -json .
+
+bench-gate:
+	$(GO) build -o $(BIN)/perfdiff ./cmd/perfdiff
+	$(GO) run ./cmd/eleos-bench $(GATE_FLAGS) -json $(BIN)/gate >/dev/null
+	./$(BIN)/perfdiff $(GATE_BASELINE)/BENCH_traffic.json $(BIN)/gate/BENCH_traffic.json
+
+bench-gate-baseline:
+	$(GO) run ./cmd/eleos-bench $(GATE_FLAGS) -json $(GATE_BASELINE) >/dev/null

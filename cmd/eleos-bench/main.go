@@ -95,6 +95,7 @@ func main() {
 		runIDs  = flag.String("run", "", "comma-separated experiment IDs (default: all)")
 		quick   = flag.Bool("quick", false, "scaled-down datasets for fast runs")
 		ops     = flag.Int("ops", 0, "operations per configuration (0 = experiment default)")
+		runs    = flag.Int("runs", 0, "variance runs per configuration (0 = experiment default)")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		csvDir  = flag.String("csv", "", "also write each experiment's tables as CSV into this directory")
 		jsonDir = flag.String("json", "", "also write each experiment as BENCH_<id>.json into this directory")
@@ -123,7 +124,7 @@ func main() {
 		}
 	}
 
-	rc := bench.RunConfig{Ops: *ops, Quick: *quick}
+	rc := bench.RunConfig{Ops: *ops, Runs: *runs, Quick: *quick}
 	failed := 0
 	for _, e := range selected {
 		start := time.Now()

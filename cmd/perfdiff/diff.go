@@ -1,0 +1,279 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Doc mirrors the BENCH_<id>.json schema cmd/eleos-bench emits.
+type Doc struct {
+	ID     string  `json:"id"`
+	Title  string  `json:"title"`
+	Tables []Table `json:"tables"`
+}
+
+// Table is one rendered experiment table.
+type Table struct {
+	Title   string     `json:"title"`
+	Note    string     `json:"note,omitempty"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// LoadDoc reads one BENCH json file.
+func LoadDoc(path string) (*Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var d Doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &d, nil
+}
+
+// Direction says which way a metric column improves.
+type Direction int
+
+const (
+	// DirNone marks informational columns that are never compared
+	// (identities, counts, workload properties).
+	DirNone Direction = iota
+	// DirLower marks latency/cost-like columns: lower is better.
+	DirLower
+	// DirHigher marks throughput-like columns: higher is better.
+	DirHigher
+)
+
+func (d Direction) String() string {
+	switch d {
+	case DirLower:
+		return "lower"
+	case DirHigher:
+		return "higher"
+	default:
+		return "info"
+	}
+}
+
+// directionOf classifies a column header. The vocabulary covers every
+// BENCH table the harness emits: cycle/latency/fault/allocation counts
+// regress upward, throughput and speedup columns regress downward,
+// and anything unrecognized — identities, request counts, offered
+// load (a schedule property, not a result) — is not compared.
+func directionOf(header string) Direction {
+	h := strings.ToLower(header)
+	if strings.HasSuffix(h, " sd") || strings.Contains(h, "offered") {
+		return DirNone
+	}
+	for _, kw := range []string{"cyc", "latency", "fault", "alloc", "db/req", "stall"} {
+		if strings.Contains(h, kw) {
+			return DirLower
+		}
+	}
+	for _, kw := range []string{"ops/s", "kops", "k/s", "tput", "speedup", "ratio"} {
+		if strings.Contains(h, kw) {
+			return DirHigher
+		}
+	}
+	return DirNone
+}
+
+// Verdict is the outcome of one metric comparison.
+type Verdict string
+
+const (
+	VerdictOK          Verdict = "ok"          // unchanged or within noise and threshold
+	VerdictNoise       Verdict = "~"           // moved, but within the variance overlap
+	VerdictRegression  Verdict = "REGRESSION"  // significant move past the threshold, wrong way
+	VerdictImprovement Verdict = "improvement" // significant move past the threshold, right way
+	VerdictMissing     Verdict = "MISSING"     // row present in old, absent in new
+)
+
+// Finding is one compared metric cell (or a missing row).
+type Finding struct {
+	Table   string
+	Row     string // the row key: the non-numeric identity cells joined
+	Col     string
+	Dir     Direction
+	Old     float64
+	New     float64
+	SDOld   float64
+	SDNew   float64
+	Delta   float64 // (new-old)/old
+	Verdict Verdict
+}
+
+// Options tunes the comparison.
+type Options struct {
+	// Threshold is the relative delta below which a significant move is
+	// still tolerated (0.10 = 10%).
+	Threshold float64
+	// Sigma scales the variance overlap test: a move within
+	// sigma*max(sd_old, sd_new) is noise, whatever its size. Columns
+	// without a paired "<name> sd" column compare with sd 0, so any
+	// move is significant for them.
+	Sigma float64
+}
+
+// parseFloat accepts the harness's cell formats ("1.50x", "42.7",
+// "123457").
+func parseFloat(s string) (float64, bool) {
+	s = strings.TrimSpace(strings.TrimSuffix(s, "x"))
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
+}
+
+// rowKey identifies a row by its non-numeric cells — the identity
+// columns (server, process, phase, …) survive metric changes.
+func rowKey(row []string) string {
+	var parts []string
+	for _, c := range row {
+		if _, ok := parseFloat(c); !ok {
+			parts = append(parts, c)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Compare diffs every metric column of every matching table row,
+// benchstat-style: a regression is a move in the wrong direction that
+// clears both the variance overlap test and the relative threshold.
+func Compare(oldDoc, newDoc *Doc, opt Options) []Finding {
+	var out []Finding
+	newTables := make(map[string]*Table, len(newDoc.Tables))
+	for i := range newDoc.Tables {
+		newTables[newDoc.Tables[i].Title] = &newDoc.Tables[i]
+	}
+	for ti := range oldDoc.Tables {
+		ot := &oldDoc.Tables[ti]
+		nt, ok := newTables[ot.Title]
+		if !ok {
+			// Fall back to positional matching when titles were renamed.
+			if ti < len(newDoc.Tables) {
+				nt = &newDoc.Tables[ti]
+			} else {
+				out = append(out, Finding{Table: ot.Title, Verdict: VerdictMissing})
+				continue
+			}
+		}
+		out = append(out, compareTable(ot, nt, opt)...)
+	}
+	return out
+}
+
+func compareTable(ot, nt *Table, opt Options) []Finding {
+	var out []Finding
+	// Column name -> index maps for both sides; sd columns are found by
+	// name, so column reordering between versions stays comparable.
+	oldCol := colIndex(ot.Headers)
+	newCol := colIndex(nt.Headers)
+	newRows := make(map[string][]string, len(nt.Rows))
+	for _, r := range nt.Rows {
+		newRows[rowKey(r)] = r
+	}
+	for _, or := range ot.Rows {
+		key := rowKey(or)
+		nr, ok := newRows[key]
+		if !ok {
+			out = append(out, Finding{Table: ot.Title, Row: key, Verdict: VerdictMissing})
+			continue
+		}
+		for _, h := range ot.Headers {
+			dir := directionOf(h)
+			if dir == DirNone {
+				continue
+			}
+			oi, ni := oldCol[h], newCol[h]
+			if oi >= len(or) || ni < 0 || ni >= len(nr) {
+				continue
+			}
+			ov, ook := parseFloat(or[oi])
+			nv, nok := parseFloat(nr[ni])
+			if !ook || !nok {
+				continue
+			}
+			f := Finding{Table: ot.Title, Row: key, Col: h, Dir: dir, Old: ov, New: nv}
+			f.SDOld = sdOf(or, oldCol, h)
+			f.SDNew = sdOf(nr, newCol, h)
+			f.Verdict = judge(&f, opt)
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func colIndex(headers []string) map[string]int {
+	m := make(map[string]int, len(headers))
+	for i, h := range headers {
+		m[h] = i
+	}
+	return m
+}
+
+// sdOf returns the row's "<col> sd" value, 0 when the table has none.
+func sdOf(row []string, cols map[string]int, col string) float64 {
+	i, ok := cols[col+" sd"]
+	if !ok || i >= len(row) {
+		return 0
+	}
+	v, _ := parseFloat(row[i])
+	return v
+}
+
+func judge(f *Finding, opt Options) Verdict {
+	if f.Old == f.New {
+		return VerdictOK
+	}
+	if f.Old != 0 {
+		f.Delta = (f.New - f.Old) / f.Old
+	} else {
+		f.Delta = 1
+	}
+	worse := (f.Dir == DirLower && f.New > f.Old) || (f.Dir == DirHigher && f.New < f.Old)
+	diff := f.New - f.Old
+	if diff < 0 {
+		diff = -diff
+	}
+	noise := opt.Sigma * maxf(f.SDOld, f.SDNew)
+	if diff <= noise {
+		return VerdictNoise
+	}
+	rel := f.Delta
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel < opt.Threshold {
+		return VerdictOK
+	}
+	if worse {
+		return VerdictRegression
+	}
+	return VerdictImprovement
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Failed reports whether the comparison should fail the gate: any
+// regression, or any row/table that disappeared (a shape change means
+// the checked-in baseline must be regenerated deliberately).
+func Failed(findings []Finding) bool {
+	for _, f := range findings {
+		if f.Verdict == VerdictRegression || f.Verdict == VerdictMissing {
+			return true
+		}
+	}
+	return false
+}

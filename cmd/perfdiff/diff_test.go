@@ -1,0 +1,199 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func table(rows ...[]string) Table {
+	return Table{
+		Title:   "Open-loop tail latency",
+		Headers: []string{"server", "phase", "reqs", "Kops/s", "Kops/s sd", "p99 cyc", "p99 cyc sd"},
+		Rows:    rows,
+	}
+}
+
+func doc(rows ...[]string) *Doc {
+	return &Doc{ID: "traffic", Title: "t", Tables: []Table{table(rows...)}}
+}
+
+var opts = Options{Threshold: 0.10, Sigma: 2.0}
+
+func TestSelfComparisonIsClean(t *testing.T) {
+	d := doc(
+		[]string{"mckv", "steady", "1500", "472.5", "9.0", "41983", "7748"},
+		[]string{"pserver", "steady", "1500", "298.0", "9.9", "36863", "9515"},
+	)
+	fs := Compare(d, d, opts)
+	if Failed(fs) {
+		t.Fatalf("self-comparison failed: %+v", fs)
+	}
+	for _, f := range fs {
+		if f.Verdict != VerdictOK {
+			t.Fatalf("self-comparison verdict %q on %s/%s", f.Verdict, f.Row, f.Col)
+		}
+	}
+	// Both metric columns of both rows were compared; identity and sd
+	// columns were not.
+	if len(fs) != 4 {
+		t.Fatalf("compared %d metrics, want 4", len(fs))
+	}
+}
+
+func TestRegressionDetected(t *testing.T) {
+	old := doc([]string{"mckv", "steady", "1500", "472.5", "2.0", "40000", "100"})
+	// p99 +25%: far past threshold and past 2*sd.
+	lat := doc([]string{"mckv", "steady", "1500", "472.5", "2.0", "50000", "100"})
+	fs := Compare(old, lat, opts)
+	if !Failed(fs) {
+		t.Fatal("25% p99 regression not flagged")
+	}
+	// Throughput -20%: regression on a higher-is-better column.
+	tput := doc([]string{"mckv", "steady", "1500", "378.0", "2.0", "40000", "100"})
+	fs = Compare(old, tput, opts)
+	if !Failed(fs) {
+		t.Fatal("20% throughput drop not flagged")
+	}
+	// Throughput +20% is an improvement, not a failure.
+	up := doc([]string{"mckv", "steady", "1500", "567.0", "2.0", "40000", "100"})
+	fs = Compare(old, up, opts)
+	if Failed(fs) {
+		t.Fatal("throughput improvement flagged as failure")
+	}
+	found := false
+	for _, f := range fs {
+		if f.Col == "Kops/s" && f.Verdict == VerdictImprovement {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no improvement verdict in %+v", fs)
+	}
+}
+
+func TestVarianceOverlapSuppressesNoise(t *testing.T) {
+	// p99 +25%, but the sd columns say the runs scatter that much:
+	// 2*max(sd) = 12000 > the 10000 move.
+	old := doc([]string{"mckv", "steady", "1500", "472.5", "2.0", "40000", "6000"})
+	new_ := doc([]string{"mckv", "steady", "1500", "472.5", "2.0", "50000", "5000"})
+	fs := Compare(old, new_, opts)
+	if Failed(fs) {
+		t.Fatalf("move within variance overlap failed the gate: %+v", fs)
+	}
+	for _, f := range fs {
+		if f.Col == "p99 cyc" && f.Verdict != VerdictNoise {
+			t.Fatalf("p99 verdict %q, want noise", f.Verdict)
+		}
+	}
+	// The same move with tight sd fails.
+	tight := doc([]string{"mckv", "steady", "1500", "472.5", "2.0", "40000", "100"})
+	tightNew := doc([]string{"mckv", "steady", "1500", "472.5", "2.0", "50000", "100"})
+	if !Failed(Compare(tight, tightNew, opts)) {
+		t.Fatal("significant move not flagged once sd is tight")
+	}
+}
+
+func TestThresholdTolerance(t *testing.T) {
+	// A significant but small move (+5%, sd 0) stays under a 10%
+	// threshold.
+	old := doc([]string{"mckv", "steady", "1500", "472.5", "0", "40000", "0"})
+	new_ := doc([]string{"mckv", "steady", "1500", "472.5", "0", "42000", "0"})
+	fs := Compare(old, new_, opts)
+	if Failed(fs) {
+		t.Fatal("5% move failed a 10% gate")
+	}
+	// The same move fails a 2% gate.
+	if !Failed(Compare(old, new_, Options{Threshold: 0.02, Sigma: 2.0})) {
+		t.Fatal("5% move passed a 2% gate")
+	}
+}
+
+func TestMissingRowFails(t *testing.T) {
+	old := doc(
+		[]string{"mckv", "steady", "1500", "472.5", "9.0", "41983", "7748"},
+		[]string{"pserver", "steady", "1500", "298.0", "9.9", "36863", "9515"},
+	)
+	new_ := doc([]string{"mckv", "steady", "1500", "472.5", "9.0", "41983", "7748"})
+	fs := Compare(old, new_, opts)
+	if !Failed(fs) {
+		t.Fatal("missing row did not fail the gate")
+	}
+	// Extra rows in the new run are fine.
+	if Failed(Compare(new_, old, opts)) {
+		t.Fatal("extra new row failed the gate")
+	}
+}
+
+func TestDirectionVocabulary(t *testing.T) {
+	cases := map[string]Direction{
+		"server":           DirNone,
+		"reqs":             DirNone,
+		"offered K/s":      DirNone, // schedule property, not a result
+		"Kops/s sd":        DirNone,
+		"p99 cyc":          DirLower,
+		"static cyc/req":   DirLower,
+		"adaptive faults":  DirLower,
+		"sync allocs/op":   DirLower,
+		"async db/req":     DirLower,
+		"stall cyc/req":    DirLower,
+		"Kops/s":           DirHigher,
+		"sync Kops/s":      DirHigher,
+		"speedup":          DirHigher,
+		"async/sync":       DirNone,
+		"throughput ratio": DirHigher,
+	}
+	for h, want := range cases {
+		if got := directionOf(h); got != want {
+			t.Errorf("directionOf(%q) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+// TestFixtureEndToEnd loads the checked-in JSON fixtures: the baseline
+// self-compares clean, and the regressed fixture (p99 +25%, throughput
+// -15% on one row) fails.
+func TestFixtureEndToEnd(t *testing.T) {
+	base, err := LoadDoc(filepath.Join("testdata", "baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Failed(Compare(base, base, opts)) {
+		t.Fatal("baseline fixture does not self-compare clean")
+	}
+	reg, err := LoadDoc(filepath.Join("testdata", "regressed.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Compare(base, reg, opts)
+	if !Failed(fs) {
+		t.Fatal("regressed fixture passed the gate")
+	}
+	var sawP99, sawTput bool
+	for _, f := range fs {
+		if f.Verdict == VerdictRegression {
+			switch f.Col {
+			case "p99 cyc":
+				sawP99 = true
+			case "Kops/s":
+				sawTput = true
+			}
+		}
+	}
+	if !sawP99 || !sawTput {
+		t.Fatalf("expected both p99 and throughput regressions, got %+v", fs)
+	}
+}
+
+func TestLoadDocErrors(t *testing.T) {
+	if _, err := LoadDoc(filepath.Join("testdata", "no-such.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDoc(bad); err == nil {
+		t.Fatal("malformed json loaded")
+	}
+}

@@ -1,0 +1,93 @@
+// Command perfdiff compares two BENCH_<id>.json files emitted by
+// cmd/eleos-bench, benchstat-style, and exits non-zero when the new
+// run regressed — the variance-aware perf gate behind `make bench-gate`.
+//
+// Rows are matched by their identity cells (server, process, phase, …)
+// and every recognized metric column is compared by direction:
+// cycle/latency/fault/allocation columns must not rise, throughput and
+// speedup columns must not fall. A move only fails the gate when it
+// clears BOTH tests:
+//
+//   - significance: |new-old| > sigma * max(sd_old, sd_new), where the
+//     sd values come from the table's own "<col> sd" variance columns
+//     (seeded variance runs); columns without one compare exactly, and
+//   - size: |new-old|/old >= threshold.
+//
+// A row or table present in the baseline but missing from the new run
+// also fails: shape changes must regenerate the baseline deliberately
+// (make bench-gate-baseline).
+//
+// Usage:
+//
+//	perfdiff [-threshold 0.10] [-sigma 2] [-v] old.json new.json
+//
+// Exit status: 0 clean, 1 regression or missing rows, 2 usage/load
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.10, "relative regression threshold (0.10 = 10%)")
+		sigma     = flag.Float64("sigma", 2.0, "variance overlap multiplier for significance")
+		verbose   = flag.Bool("v", false, "print every compared metric, not just moves")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: perfdiff [-threshold 0.10] [-sigma 2] [-v] old.json new.json")
+		os.Exit(2)
+	}
+	oldDoc, err := LoadDoc(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newDoc, err := LoadDoc(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	findings := Compare(oldDoc, newDoc, Options{Threshold: *threshold, Sigma: *sigma})
+	var compared, regressions, improvements, noise, missing int
+	lastTable := ""
+	for _, f := range findings {
+		if f.Verdict == VerdictMissing {
+			missing++
+			fmt.Printf("MISSING: %s | %s (in baseline, not in new run)\n", f.Table, f.Row)
+			continue
+		}
+		compared++
+		switch f.Verdict {
+		case VerdictRegression:
+			regressions++
+		case VerdictImprovement:
+			improvements++
+		case VerdictNoise:
+			noise++
+		}
+		if !*verbose && (f.Verdict == VerdictOK || f.Verdict == VerdictNoise) {
+			continue
+		}
+		if f.Table != lastTable {
+			fmt.Printf("## %s\n", f.Table)
+			lastTable = f.Table
+		}
+		sd := ""
+		if f.SDOld != 0 || f.SDNew != 0 {
+			sd = fmt.Sprintf("  (sd %.3g -> %.3g)", f.SDOld, f.SDNew)
+		}
+		fmt.Printf("%-12s %s | %s: %.4g -> %.4g (%+.1f%%, want %s)%s\n",
+			f.Verdict, f.Row, f.Col, f.Old, f.New, 100*f.Delta, f.Dir, sd)
+	}
+	fmt.Printf("perfdiff: %d metrics compared: %d regression(s), %d improvement(s), %d within noise, %d missing\n",
+		compared, regressions, improvements, noise, missing)
+	if Failed(findings) {
+		os.Exit(1)
+	}
+}

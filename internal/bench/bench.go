@@ -33,6 +33,11 @@ type RunConfig struct {
 	// Ops is the request/access count per configuration (the paper uses
 	// 100k; Quick runs use less).
 	Ops int
+	// Runs is the number of seeded variance runs for experiments that
+	// report mean/stddev columns (currently traffic); each run draws a
+	// distinct schedule so cmd/perfdiff can judge regressions against
+	// seed-to-seed spread.
+	Runs int
 	// Quick shrinks dataset sizes so the full suite runs in CI time.
 	Quick bool
 }
@@ -44,6 +49,13 @@ func (c RunConfig) Normalize() RunConfig {
 			c.Ops = 20_000
 		} else {
 			c.Ops = 100_000
+		}
+	}
+	if c.Runs == 0 {
+		if c.Quick {
+			c.Runs = 3
+		} else {
+			c.Runs = 5
 		}
 	}
 	return c
@@ -98,7 +110,7 @@ func Lookup(id string) (Experiment, bool) {
 func orderOf(id string) int {
 	order := []string{
 		"fig1", "tab1", "fig2a", "fig2b",
-		"fig6a", "fig6b", "fig6c", "rpc-async", "io-engine", "selftune", "consolidation", "fleet",
+		"fig6a", "fig6b", "fig6c", "rpc-async", "io-engine", "selftune", "consolidation", "fleet", "traffic",
 		"fig7a", "fig7b", "tab2", "suvm-mt", "fig8a", "fig8b", "tab3", "fig9", "pflat",
 		"fig10", "fig11", "tab4",
 		"abl-wb", "abl-link", "abl-pgsz", "abl-evict", "abl-batch",

@@ -7,7 +7,7 @@ import "testing"
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "tab1", "fig2a", "fig2b",
-		"fig6a", "fig6b", "fig6c", "rpc-async", "io-engine", "selftune", "consolidation", "fleet",
+		"fig6a", "fig6b", "fig6c", "rpc-async", "io-engine", "selftune", "consolidation", "fleet", "traffic",
 		"fig7a", "fig7b", "tab2", "suvm-mt", "fig8a", "fig8b", "tab3", "fig9", "pflat",
 		"fig10", "fig11", "tab4",
 		"abl-wb", "abl-link", "abl-pgsz", "abl-evict", "abl-batch",

@@ -1,0 +1,202 @@
+// Package hist is an HDR-style latency histogram over virtual cycles,
+// the measurement half of the open-loop traffic harness. Values are
+// recorded into log-spaced buckets with 2^subBits sub-buckets per
+// octave, bounding the relative quantile error at 1/2^subBits (~3.1%)
+// while keeping the whole structure a fixed flat array: Record is a
+// shift, a table index and an add — no allocation, no branch on the
+// data — so it can sit on the serving thread's hot path without
+// perturbing what it measures. Histograms merge additively across
+// workers or variance runs, and quantiles are deterministic functions
+// of the bucket counts, so reports built from them golden-diff cleanly.
+//
+// Trust domain: untrusted (the measurement harness runs on the client
+// side of the trust boundary, like loadgen). Checked by eleoslint for
+// determinism and for the Record allocation budget.
+//
+//eleos:untrusted
+//eleos:deterministic
+package hist
+
+import "math/bits"
+
+const (
+	// subBits sets the per-octave resolution: 2^subBits sub-buckets,
+	// giving a worst-case relative error of 1/2^subBits per quantile.
+	subBits = 5
+	// exact is the threshold below which values map to their own
+	// bucket: anything under 2^(subBits+1) cycles is represented
+	// exactly.
+	exact = 1 << (subBits + 1)
+	// nBuckets covers the full uint64 range: the exact range plus
+	// 2^subBits buckets for each shift 1..64-subBits-1 (the largest
+	// bucket index, for v = 2^64-1, is (64-subBits-1)<<subBits + 2^(subBits+1) - 1).
+	nBuckets = (64-subBits-1)<<subBits + exact
+)
+
+// H is a mergeable latency histogram. The zero value is NOT ready to
+// use (the counts array is large enough that H should live behind a
+// pointer); create one with New.
+type H struct {
+	counts [nBuckets]uint64
+	n      uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+// Summary is the fixed percentile set the benchmark tables report.
+type Summary struct {
+	Count                    uint64
+	Mean                     float64
+	P50, P90, P99, P999, Max uint64
+}
+
+// New returns an empty histogram.
+func New() *H {
+	return &H{min: ^uint64(0)}
+}
+
+// bucketOf maps a value to its bucket index. Values below the exact
+// threshold map to themselves; above it, the top subBits+1 significant
+// bits select the bucket, so each octave splits into 2^subBits
+// log-spaced buckets.
+//
+//eleos:hotpath budget=0
+func bucketOf(v uint64) int {
+	if v < exact {
+		return int(v)
+	}
+	shift := uint(bits.Len64(v) - subBits - 1)
+	return int(shift)<<subBits + int(v>>shift)
+}
+
+// upperOf returns the largest value a bucket holds — the deterministic
+// representative quantiles report, so a quantile never under-states.
+func upperOf(i int) uint64 {
+	if i < exact {
+		return uint64(i)
+	}
+	shift := uint(i>>subBits) - 1
+	top := uint64(i&(exact/2-1)) + exact/2
+	return (top+1)<<shift - 1
+}
+
+// Record adds one value. It is the per-request hot path of the traffic
+// driver and must not allocate.
+//
+//eleos:hotpath budget=0
+func (h *H) Record(v uint64) {
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *H) Count() uint64 { return h.n }
+
+// Max returns the largest recorded value exactly (not bucket-rounded).
+func (h *H) Max() uint64 { return h.max }
+
+// Min returns the smallest recorded value exactly, or 0 when empty.
+func (h *H) Min() uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the exact arithmetic mean of the recorded values.
+func (h *H) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Merge folds o into h. Bucket counts are additive, so merging is
+// associative and commutative — per-worker or per-run histograms fold
+// into one without ordering sensitivity.
+func (h *H) Merge(o *H) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		if c != 0 {
+			h.counts[i] += c
+		}
+	}
+	h.n += o.n
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// Reset empties the histogram in place.
+func (h *H) Reset() {
+	h.counts = [nBuckets]uint64{}
+	h.n = 0
+	h.sum = 0
+	h.min = ^uint64(0)
+	h.max = 0
+}
+
+// Quantile returns the value at or below which a fraction q of the
+// recorded values fall, rounded up to its bucket's upper bound and
+// clamped to the exact observed maximum. q is clamped to [0, 1];
+// an empty histogram returns 0. Quantile is monotone in q.
+func (h *H) Quantile(q float64) uint64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.max
+	}
+	// rank is the 1-based index of the target value in sorted order:
+	// ceil(q * n), at least 1.
+	rank := uint64(q * float64(h.n))
+	if float64(rank) < q*float64(h.n) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			v := upperOf(i)
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Snapshot returns the fixed percentile set in one pass-friendly
+// struct.
+func (h *H) Snapshot() Summary {
+	return Summary{
+		Count: h.n,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.max,
+	}
+}

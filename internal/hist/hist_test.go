@@ -1,0 +1,225 @@
+package hist_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"eleos/internal/hist"
+)
+
+// maxRelErr is the histogram's documented quantile error bound:
+// 1/2^subBits with subBits=5, i.e. one part in 32.
+const maxRelErr = 1.0 / 32
+
+// oracleQuantile is the exact reference: the ceil(q*n)-th smallest
+// value of the sorted sample.
+func oracleQuantile(sorted []uint64, q float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// sample draws n values from a few shapes that stress different bucket
+// ranges: exact small values, mid-range uniforms, heavy-tailed draws.
+func sample(t *testing.T, seed int64, n int) []uint64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			vals = append(vals, uint64(rng.Intn(64))) // exact range
+		case 1:
+			vals = append(vals, uint64(rng.Intn(1<<20)))
+		default:
+			// Log-uniform heavy tail up to ~2^40.
+			vals = append(vals, uint64(math.Exp(rng.Float64()*27)))
+		}
+	}
+	return vals
+}
+
+func TestQuantileVsSortedOracle(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		vals := sample(t, seed, 10_000)
+		h := hist.New()
+		for _, v := range vals {
+			h.Record(v)
+		}
+		sorted := append([]uint64(nil), vals...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		if h.Count() != uint64(len(vals)) {
+			t.Fatalf("seed %d: Count = %d, want %d", seed, h.Count(), len(vals))
+		}
+		if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+			t.Fatalf("seed %d: Min/Max = %d/%d, want %d/%d",
+				seed, h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += float64(v)
+		}
+		if mean := h.Mean(); math.Abs(mean-sum/float64(len(vals))) > 1e-6*sum {
+			t.Fatalf("seed %d: Mean = %g, want %g", seed, mean, sum/float64(len(vals)))
+		}
+		for _, q := range []float64{0, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+			got := h.Quantile(q)
+			want := oracleQuantile(sorted, q)
+			// The histogram reports a bucket upper bound clamped to the
+			// observed max: never below the oracle by more than the
+			// resolution, never above it by more than the relative error.
+			lo := float64(want) * (1 - maxRelErr)
+			hi := float64(want)*(1+maxRelErr) + 1
+			if float64(got) < lo || float64(got) > hi {
+				t.Errorf("seed %d: Quantile(%g) = %d, oracle %d (allowed [%g, %g])",
+					seed, q, got, want, lo, hi)
+			}
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	vals := sample(t, 99, 5_000)
+	h := hist.New()
+	for _, v := range vals {
+		h.Record(v)
+	}
+	prev := uint64(0)
+	for q := 0.0; q <= 1.0; q += 0.001 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%g) = %d < previous %d: not monotone", q, v, prev)
+		}
+		prev = v
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("Quantile(1) = %d, want Max %d", h.Quantile(1), h.Max())
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := hist.New()
+	if h.Count() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram not zero-valued: %+v", h.Snapshot())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%g) = %d, want 0", q, v)
+		}
+	}
+}
+
+// equal compares two histograms through their observable surface.
+func equal(a, b *hist.H) bool {
+	if a.Count() != b.Count() || a.Min() != b.Min() || a.Max() != b.Max() || a.Mean() != b.Mean() {
+		return false
+	}
+	for q := 0.0; q <= 1.0; q += 0.0005 {
+		if a.Quantile(q) != b.Quantile(q) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMergeAssociativeCommutative(t *testing.T) {
+	build := func(seed int64) *hist.H {
+		h := hist.New()
+		for _, v := range sample(t, seed, 2_000) {
+			h.Record(v)
+		}
+		return h
+	}
+	// (a ∪ b) ∪ c == a ∪ (b ∪ c) == (c ∪ a) ∪ b.
+	fold := func(order []int64) *hist.H {
+		acc := hist.New()
+		for _, s := range order {
+			acc.Merge(build(s))
+		}
+		return acc
+	}
+	ab_c := fold([]int64{3, 5, 8})
+	c_ab := fold([]int64{8, 3, 5})
+	b_ca := fold([]int64{5, 8, 3})
+	if !equal(ab_c, c_ab) || !equal(ab_c, b_ca) {
+		t.Fatal("Merge is order-sensitive")
+	}
+	// Merging all values into one histogram directly gives the same
+	// distribution as merging per-part histograms.
+	direct := hist.New()
+	for _, s := range []int64{3, 5, 8} {
+		for _, v := range sample(t, s, 2_000) {
+			direct.Record(v)
+		}
+	}
+	if !equal(direct, ab_c) {
+		t.Fatal("merged histogram differs from directly-recorded histogram")
+	}
+	// Merging an empty or nil histogram is a no-op.
+	before := ab_c.Snapshot()
+	ab_c.Merge(hist.New())
+	ab_c.Merge(nil)
+	if ab_c.Snapshot() != before {
+		t.Fatal("merging empty/nil changed the histogram")
+	}
+}
+
+func TestResetRoundTrip(t *testing.T) {
+	h := hist.New()
+	for _, v := range sample(t, 17, 1_000) {
+		h.Record(v)
+	}
+	h.Reset()
+	if !equal(h, hist.New()) {
+		t.Fatal("Reset did not restore the empty state")
+	}
+	h.Record(7)
+	if h.Count() != 1 || h.Min() != 7 || h.Max() != 7 || h.Quantile(0.5) != 7 {
+		t.Fatalf("post-Reset Record broken: %+v", h.Snapshot())
+	}
+}
+
+func TestExtremeValues(t *testing.T) {
+	h := hist.New()
+	h.Record(0)
+	h.Record(^uint64(0))
+	if h.Min() != 0 || h.Max() != ^uint64(0) {
+		t.Fatalf("Min/Max = %d/%d", h.Min(), h.Max())
+	}
+	if v := h.Quantile(1); v != ^uint64(0) {
+		t.Fatalf("Quantile(1) = %d", v)
+	}
+	if v := h.Quantile(0.25); v != 0 {
+		t.Fatalf("Quantile(0.25) = %d, want 0", v)
+	}
+}
+
+// TestRecordZeroAlloc pins the //eleos:hotpath budget=0 contract
+// dynamically: the static analyzer bounds the worst case, this test
+// catches regressions the analyzer cannot see (e.g. an interface
+// boxing sneaking into the path).
+func TestRecordZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	h := hist.New()
+	var v uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v += 977
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per op, budget is 0", allocs)
+	}
+}

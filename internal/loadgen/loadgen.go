@@ -24,6 +24,7 @@ type KeyGen struct {
 	space uint64
 	hot   uint64 // if non-zero, keys are drawn from [1, hot]
 	zipf  *rand.Zipf
+	s     float64 // Zipf skew, kept so HotSet can recompute the space
 }
 
 // NewKeyGen creates a uniform generator over [1, space].
@@ -36,12 +37,17 @@ func NewKeyGen(seed int64, space uint64) *KeyGen {
 
 // HotSet restricts draws to the first n keys — the Fig 2a/6b workload,
 // where the server holds 64 MB but requests touch only an LLC-sized
-// 8 MB subset.
+// 8 MB subset. When a Zipfian skew is already installed it is rebuilt
+// over the shrunk space, so HotSet and Zipfian compose in either
+// order (an earlier version silently ignored HotSet after Zipfian).
 func (g *KeyGen) HotSet(n uint64) *KeyGen {
 	if n > g.space {
 		n = g.space
 	}
 	g.hot = n
+	if g.zipf != nil {
+		return g.Zipfian(g.s)
+	}
 	return g
 }
 
@@ -55,6 +61,7 @@ func (g *KeyGen) Zipfian(s float64) *KeyGen {
 	if s <= 1 {
 		s = math.Nextafter(1, 2)
 	}
+	g.s = s
 	g.zipf = rand.NewZipf(g.rng, s, 1, space-1)
 	return g
 }

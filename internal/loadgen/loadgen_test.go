@@ -44,6 +44,37 @@ func TestZipfSkew(t *testing.T) {
 	}
 }
 
+// TestHotSetAfterZipfian is the ordering-footgun regression: Zipfian
+// used to capture the key space at call time, so a HotSet applied
+// afterwards was silently ignored and draws escaped the hot set.
+func TestHotSetAfterZipfian(t *testing.T) {
+	g := NewKeyGen(5, 1_000_000).Zipfian(1.2).HotSet(100)
+	for i := 0; i < 10000; i++ {
+		if k := g.Next(); k > 100 {
+			t.Fatalf("draw %d escaped the hot set applied after Zipfian", k)
+		}
+	}
+	// Both orders draw from the same restricted space and stay skewed.
+	a := NewKeyGen(6, 1_000_000).Zipfian(1.2).HotSet(100)
+	b := NewKeyGen(6, 1_000_000).HotSet(100).Zipfian(1.2)
+	const draws = 50000
+	var aHead, bHead int
+	for i := 0; i < draws; i++ {
+		if a.Next() == 1 {
+			aHead++
+		}
+		if b.Next() == 1 {
+			bHead++
+		}
+	}
+	if aHead != bHead {
+		t.Fatalf("orders diverged: Zipfian-then-HotSet head %d, HotSet-then-Zipfian head %d", aHead, bHead)
+	}
+	if aHead < draws/10 {
+		t.Fatalf("zipf head got %d of %d draws after HotSet", aHead, draws)
+	}
+}
+
 func TestBatchAndBytes(t *testing.T) {
 	g := NewKeyGen(4, 10)
 	keys := g.Batch(make([]uint64, 8))

@@ -80,7 +80,13 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			// Cells beyond the headers render at natural width instead
+			// of indexing widths out of range.
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
 		}
 		b.WriteByte('\n')
 	}
@@ -94,6 +100,24 @@ func (t *Table) String() string {
 		line(row)
 	}
 	return b.String()
+}
+
+// PercentileHeaders returns the standard latency-percentile column
+// headers the open-loop benchmark tables share, in the given unit
+// (e.g. "cyc").
+func PercentileHeaders(unit string) []string {
+	return []string{
+		"p50 " + unit, "p90 " + unit, "p99 " + unit, "p999 " + unit, "max " + unit,
+	}
+}
+
+// PercentileCells formats one row's worth of percentile values to pair
+// with PercentileHeaders.
+func PercentileCells(p50, p90, p99, p999, max uint64) []any {
+	return []any{
+		fmt.Sprintf("%d", p50), fmt.Sprintf("%d", p90), fmt.Sprintf("%d", p99),
+		fmt.Sprintf("%d", p999), fmt.Sprintf("%d", max),
+	}
 }
 
 // Ratio formats a/b as "N.NNx", guarding zero denominators.

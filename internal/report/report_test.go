@@ -32,6 +32,49 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
+// TestWideRowRendering is the index-out-of-range regression: a row
+// with more cells than headers used to panic in String (line() indexed
+// widths[i] unguarded). Extra cells now render at natural width, in
+// order, deterministically.
+func TestWideRowRendering(t *testing.T) {
+	tb := New("Wide", "name", "value")
+	tb.AddRow("alpha", 1, "extra-1", "extra-2")
+	tb.AddRow("beta", 2)
+	out := tb.String()
+	for _, want := range []string{"alpha", "extra-1", "extra-2", "beta"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if !strings.HasSuffix(lines[3], "extra-1  extra-2") {
+		t.Fatalf("extra cells not rendered in order: %q", lines[3])
+	}
+	// Rendering twice gives the identical string.
+	if out != tb.String() {
+		t.Fatal("String is not deterministic")
+	}
+}
+
+func TestPercentileColumns(t *testing.T) {
+	hdr := PercentileHeaders("cyc")
+	cells := PercentileCells(10, 20, 30, 40, 50)
+	if len(hdr) != len(cells) {
+		t.Fatalf("header/cell arity mismatch: %d vs %d", len(hdr), len(cells))
+	}
+	tb := New("Lat", append([]string{"server"}, hdr...)...)
+	tb.AddRow(append([]any{"mckv"}, cells...)...)
+	out := tb.String()
+	for _, want := range []string{"p50 cyc", "p999 cyc", "max cyc", "mckv", "40", "50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 func TestFormatters(t *testing.T) {
 	if got := Ratio(3, 2); got != "1.50x" {
 		t.Fatalf("Ratio = %q", got)

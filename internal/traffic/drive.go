@@ -1,0 +1,70 @@
+package traffic
+
+import "eleos/internal/cycles"
+
+// DriveResult summarizes one open-loop replay.
+type DriveResult struct {
+	// Served is the number of requests completed.
+	Served int
+	// IdleCycles is virtual time the server spent waiting for the next
+	// arrival — the schedule under-ran the server's capacity.
+	IdleCycles uint64
+	// StallCycles is virtual time charged reading from slow clients.
+	StallCycles uint64
+	// Elapsed is the server's total virtual time over the replay,
+	// measured from the first request's schedule origin.
+	Elapsed uint64
+}
+
+// Drive replays n requests from the fleet against serve on the
+// simulated thread t, advancing t's virtual clock the way an open-loop
+// server experiences time:
+//
+//   - If the server is ahead of the schedule (the next request has not
+//     arrived yet), the gap is charged to t as idle time — the clock
+//     jumps to the arrival.
+//   - If the server is behind (the request arrived while a previous one
+//     was still being served), it is served immediately; the queueing
+//     delay it accumulated is part of its latency.
+//   - A slow client's stall is charged to t before serving, modeling a
+//     read that trickles in.
+//
+// Latency is always charged from the request's intended Arrival cycle
+// to its completion cycle — never from when the server started it — so
+// the measurement is coordinated-omission-safe: an overloaded server
+// cannot hide queueing delay by reading requests late. record receives
+// every request with its latency; serve failures abort the replay.
+//
+// Cycles already on t when Drive starts define the schedule origin:
+// requests are replayed relative to it, so callers reset or snapshot
+// the thread's counter around the measured region as usual.
+func Drive(t *cycles.Thread, f *Fleet, n int,
+	record func(req Request, latencyCycles uint64),
+	serve func(req Request) error) (DriveResult, error) {
+
+	var res DriveResult
+	base := t.Cycles()
+	for i := 0; i < n; i++ {
+		req := f.Next()
+		now := t.Cycles() - base
+		if now < req.Arrival {
+			idle := req.Arrival - now
+			t.Charge(idle)
+			res.IdleCycles += idle
+		}
+		if req.Stall > 0 {
+			t.Charge(req.Stall)
+			res.StallCycles += req.Stall
+		}
+		if err := serve(req); err != nil {
+			return res, err
+		}
+		done := t.Cycles() - base
+		if record != nil {
+			record(req, done-req.Arrival)
+		}
+		res.Served++
+	}
+	res.Elapsed = t.Cycles() - base
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package traffic_test
+
+import (
+	"errors"
+	"testing"
+
+	"eleos/internal/cycles"
+	"eleos/internal/hist"
+	"eleos/internal/traffic"
+)
+
+func testThread() *cycles.Thread {
+	return cycles.NewThread(0, cycles.DefaultModel())
+}
+
+// constProc is a fixed-gap arrival process for exact-latency
+// assertions: unlike Poisson it never draws two arrivals closer than
+// the service time.
+type constProc struct{ gap uint64 }
+
+func (c constProc) Name() string        { return "const" }
+func (c constProc) Phases() []string    { return []string{"steady"} }
+func (c constProc) Next() (uint64, int) { return c.gap, 0 }
+
+// TestDriveIdleUnderrun: a schedule far slower than the service rate
+// leaves the server idle between requests, and every latency is just
+// the service cost (plus any stall).
+func TestDriveIdleUnderrun(t *testing.T) {
+	const svc = 100
+	th := testThread()
+	f := traffic.NewFleet(1, constProc{gap: 10_000}, traffic.FleetConfig{Clients: 4})
+	var lats []uint64
+	res, err := traffic.Drive(th, f, 500,
+		func(_ traffic.Request, lat uint64) { lats = append(lats, lat) },
+		func(_ traffic.Request) error { th.Charge(svc); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 500 {
+		t.Fatalf("served %d, want 500", res.Served)
+	}
+	if res.IdleCycles == 0 {
+		t.Fatal("under-run schedule produced no idle time")
+	}
+	for i, l := range lats {
+		if l != svc {
+			t.Fatalf("request %d latency %d, want exactly the service cost %d", i, l, svc)
+		}
+	}
+}
+
+// TestDriveCoordinatedOmission: an overloaded schedule (arrivals faster
+// than service) must show unbounded queue growth in the measured
+// latencies — the whole point of charging from intended start cycles.
+// A closed-loop harness would report ~svc for every request.
+func TestDriveCoordinatedOmission(t *testing.T) {
+	const svc = 1000
+	th := testThread()
+	// Mean gap of svc/2: offered load is 2x capacity.
+	f := traffic.NewFleet(1, traffic.NewPoisson(2, svc/2), traffic.FleetConfig{Clients: 4})
+	h := hist.New()
+	var lats []uint64
+	res, err := traffic.Drive(th, f, 2_000,
+		func(_ traffic.Request, lat uint64) { h.Record(lat); lats = append(lats, lat) },
+		func(_ traffic.Request) error { th.Charge(svc); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under 2x overload the queue grows without bound: the last decile's
+	// mean latency must dwarf the first decile's.
+	var first, last float64
+	for i := 0; i < 200; i++ {
+		first += float64(lats[i])
+		last += float64(lats[len(lats)-1-i])
+	}
+	if last < 10*first {
+		t.Fatalf("overload did not build a queue: first-decile mean %.0f, last %.0f", first/200, last/200)
+	}
+	// p999 must reflect the queueing delay, far beyond the service cost.
+	if p := h.Quantile(0.999); p < 100*svc {
+		t.Fatalf("p999 = %d cycles under 2x overload, want >> service cost %d", p, svc)
+	}
+	// Idle can only accrue before the queue first forms; once the
+	// server falls behind it never waits again.
+	if res.IdleCycles > res.Elapsed/100 {
+		t.Fatalf("overloaded server idle %d of %d cycles", res.IdleCycles, res.Elapsed)
+	}
+}
+
+// TestDriveStallCharging: slow-client stalls are charged to the server
+// clock and surfaced in the result.
+func TestDriveStallCharging(t *testing.T) {
+	const svc, stall = 100, 700
+	th := testThread()
+	f := traffic.NewFleet(1, constProc{gap: 50_000}, traffic.FleetConfig{
+		Clients: 4, SlowFraction: 1.0, StallCycles: stall,
+	})
+	res, err := traffic.Drive(th, f, 100,
+		func(_ traffic.Request, lat uint64) {
+			if lat != svc+stall {
+				t.Fatalf("latency %d, want service %d + stall %d", lat, svc, stall)
+			}
+		},
+		func(_ traffic.Request) error { th.Charge(svc); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StallCycles != 100*stall {
+		t.Fatalf("StallCycles = %d, want %d", res.StallCycles, 100*stall)
+	}
+}
+
+// TestDriveDeterministic: identical seeds replay to identical results
+// and identical recorded latencies when the serve cost is a pure
+// function of the request.
+func TestDriveDeterministic(t *testing.T) {
+	run := func() (traffic.DriveResult, []uint64) {
+		th := testThread()
+		f := fleetOver(11, traffic.NewBurst(12, traffic.BurstConfig{
+			OnMeanGap: 200, OffMeanGap: 2000,
+			OnMeanCycles: 30_000, OffMeanCycles: 30_000,
+		}))
+		var lats []uint64
+		res, err := traffic.Drive(th, f, 3_000,
+			func(_ traffic.Request, lat uint64) { lats = append(lats, lat) },
+			func(r traffic.Request) error { th.Charge(500 + r.Key%97); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, lats
+	}
+	r1, l1 := run()
+	r2, l2 := run()
+	if r1 != r2 {
+		t.Fatalf("DriveResult differs across identical runs: %+v vs %+v", r1, r2)
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("latency %d differs across identical runs: %d vs %d", i, l1[i], l2[i])
+		}
+	}
+}
+
+// TestDriveServeError: a failing serve aborts the replay with partial
+// results.
+func TestDriveServeError(t *testing.T) {
+	boom := errors.New("boom")
+	th := testThread()
+	f := traffic.NewFleet(1, traffic.NewPoisson(1, 1000), traffic.FleetConfig{Clients: 1})
+	n := 0
+	res, err := traffic.Drive(th, f, 100, nil,
+		func(_ traffic.Request) error {
+			n++
+			if n == 5 {
+				return boom
+			}
+			th.Charge(10)
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if res.Served != 4 {
+		t.Fatalf("served %d before the error, want 4", res.Served)
+	}
+}

@@ -1,0 +1,341 @@
+// Package traffic generates deterministic open-loop request schedules
+// over virtual cycles — the "millions of users" side of the testbed the
+// paper's closed-loop memaslap harness cannot model. A closed-loop
+// client waits for each response before sending the next request, so
+// under overload it silently slows its own offered rate and the
+// measured tail hides the queueing delay real users would see
+// (coordinated omission). Here every request instead carries an
+// *intended start cycle* drawn from an arrival process that does not
+// care how the server is doing; the driver charges latency from that
+// intended start, so a request that queued behind an overloaded server
+// pays its full wait.
+//
+// Three arrival processes cover the production shapes: Poisson (steady
+// independent arrivals), Burst (an on/off Markov-modulated Poisson —
+// flash crowds), and Diurnal (piecewise-rate day/night cycles). A
+// Fleet composes a process with a population of client connections:
+// seeded open/close lifetimes (connection churn), a slow-client subset
+// that stalls the server on reads, and optional key draws from the
+// existing loadgen.KeyGen skew machinery.
+//
+// Trust domain: untrusted (the client machine, like loadgen). All
+// draws come from per-generator seeded *rand.Rand, so identical seeds
+// reproduce identical schedules bit-for-bit; checked by eleoslint for
+// determinism.
+//
+//eleos:untrusted
+//eleos:deterministic
+package traffic
+
+import (
+	"math/rand"
+
+	"eleos/internal/loadgen"
+)
+
+// Request is one open-loop arrival.
+type Request struct {
+	// Seq is the request's position in the schedule, starting at 0.
+	Seq int
+	// Arrival is the intended start cycle, relative to the start of the
+	// schedule. Latency must be charged from here, not from when the
+	// server got around to reading the request.
+	Arrival uint64
+	// Conn identifies the client connection; churned (re-opened)
+	// connections get fresh ids, so Conn also counts lifetime opens.
+	Conn uint64
+	// Phase indexes the generating process's Phases() — which state of
+	// the process (burst on/off, diurnal segment) produced the arrival.
+	Phase int
+	// Stall is a server-side read stall in cycles charged while serving
+	// this request: the connection belongs to a slow client whose bytes
+	// trickle in.
+	Stall uint64
+	// Key is drawn from the fleet's KeyGen when one is configured,
+	// otherwise 0.
+	Key uint64
+}
+
+// Process is a deterministic arrival process over virtual cycles. Next
+// returns the gap to the next arrival and the index of the phase the
+// arrival belongs to; Phases names the phases for reporting.
+type Process interface {
+	Name() string
+	Phases() []string
+	Next() (gap uint64, phase int)
+}
+
+// expGap draws one exponential inter-arrival gap with the given mean,
+// in cycles. The mean must be positive.
+func expGap(rng *rand.Rand, mean float64) uint64 {
+	return uint64(rng.ExpFloat64() * mean)
+}
+
+// --- Poisson ---
+
+// Poisson is a constant-rate memoryless arrival process: independent
+// exponential inter-arrival gaps, the open-loop baseline.
+type Poisson struct {
+	rng  *rand.Rand
+	mean float64
+}
+
+// NewPoisson creates a Poisson process with the given mean
+// inter-arrival gap in cycles.
+func NewPoisson(seed int64, meanGapCycles float64) *Poisson {
+	if meanGapCycles <= 0 {
+		panic("traffic: non-positive mean gap")
+	}
+	return &Poisson{rng: rand.New(rand.NewSource(seed)), mean: meanGapCycles}
+}
+
+// Name implements Process.
+func (p *Poisson) Name() string { return "poisson" }
+
+// Phases implements Process: a single steady phase.
+func (p *Poisson) Phases() []string { return []string{"steady"} }
+
+// Next implements Process.
+func (p *Poisson) Next() (uint64, int) { return expGap(p.rng, p.mean), 0 }
+
+// --- Burst ---
+
+// BurstConfig parameterizes an on/off Markov-modulated Poisson
+// process: the process alternates between an "on" state (flash crowd,
+// high rate) and an "off" state (background rate), with exponentially
+// distributed state holding times.
+type BurstConfig struct {
+	// OnMeanGap and OffMeanGap are the per-state mean inter-arrival
+	// gaps in cycles; a burst state typically offers more than the
+	// server can sustain so queues build.
+	OnMeanGap, OffMeanGap float64
+	// OnMeanCycles and OffMeanCycles are the mean state holding times.
+	OnMeanCycles, OffMeanCycles float64
+}
+
+// Burst is the on/off process. Arrivals are attributed to the state
+// active when their gap was drawn.
+type Burst struct {
+	rng  *rand.Rand
+	cfg  BurstConfig
+	on   bool
+	left float64 // cycles remaining in the current state
+}
+
+// NewBurst creates the on/off process, starting in the off state so
+// the first burst arrives at a seeded offset.
+func NewBurst(seed int64, cfg BurstConfig) *Burst {
+	if cfg.OnMeanGap <= 0 || cfg.OffMeanGap <= 0 || cfg.OnMeanCycles <= 0 || cfg.OffMeanCycles <= 0 {
+		panic("traffic: non-positive burst parameter")
+	}
+	b := &Burst{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	b.left = b.rng.ExpFloat64() * cfg.OffMeanCycles
+	return b
+}
+
+// Name implements Process.
+func (b *Burst) Name() string { return "burst" }
+
+// Phases implements Process.
+func (b *Burst) Phases() []string { return []string{"on", "off"} }
+
+// Next implements Process.
+func (b *Burst) Next() (uint64, int) {
+	mean := b.cfg.OffMeanGap
+	phase := 1
+	if b.on {
+		mean = b.cfg.OnMeanGap
+		phase = 0
+	}
+	gap := expGap(b.rng, mean)
+	b.left -= float64(gap)
+	for b.left <= 0 {
+		b.on = !b.on
+		hold := b.cfg.OffMeanCycles
+		if b.on {
+			hold = b.cfg.OnMeanCycles
+		}
+		b.left += b.rng.ExpFloat64() * hold
+	}
+	return gap, phase
+}
+
+// --- Diurnal ---
+
+// PhaseRate is one segment of a diurnal cycle: a named rate held for a
+// fixed span of virtual cycles.
+type PhaseRate struct {
+	Name string
+	// MeanGap is the mean inter-arrival gap while the phase is active.
+	MeanGap float64
+	// Cycles is the phase's span; the process cycles through its phases
+	// and wraps around, like days do.
+	Cycles uint64
+}
+
+// Diurnal is a piecewise-rate Poisson process: arrival intensity
+// follows a repeating schedule of named phases.
+type Diurnal struct {
+	rng    *rand.Rand
+	phases []PhaseRate
+	idx    int
+	left   float64 // cycles remaining in the current phase
+}
+
+// NewDiurnal creates the piecewise process starting at phase 0.
+func NewDiurnal(seed int64, phases []PhaseRate) *Diurnal {
+	if len(phases) == 0 {
+		panic("traffic: diurnal needs at least one phase")
+	}
+	for _, p := range phases {
+		if p.MeanGap <= 0 || p.Cycles == 0 {
+			panic("traffic: non-positive diurnal phase parameter")
+		}
+	}
+	d := &Diurnal{rng: rand.New(rand.NewSource(seed)), phases: phases}
+	d.left = float64(phases[0].Cycles)
+	return d
+}
+
+// Name implements Process.
+func (d *Diurnal) Name() string { return "diurnal" }
+
+// Phases implements Process.
+func (d *Diurnal) Phases() []string {
+	names := make([]string, len(d.phases))
+	for i, p := range d.phases {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Next implements Process.
+func (d *Diurnal) Next() (uint64, int) {
+	phase := d.idx
+	gap := expGap(d.rng, d.phases[d.idx].MeanGap)
+	d.left -= float64(gap)
+	for d.left <= 0 {
+		d.idx = (d.idx + 1) % len(d.phases)
+		d.left += float64(d.phases[d.idx].Cycles)
+	}
+	return gap, phase
+}
+
+// --- Fleet ---
+
+// FleetConfig models the client population in front of a process.
+type FleetConfig struct {
+	// Clients is the number of concurrently open connections; each
+	// arrival is assigned to one of them uniformly.
+	Clients int
+	// MeanLifetime is the mean connection lifetime in cycles
+	// (exponential). When a request lands on a connection past its
+	// lifetime the connection is closed and a fresh one opened in its
+	// slot — churn. 0 means connections never close.
+	MeanLifetime float64
+	// SlowFraction is the probability a (re)opened connection belongs
+	// to a slow client; its requests carry StallCycles each.
+	SlowFraction float64
+	// StallCycles is the server-side read stall per slow-client
+	// request.
+	StallCycles uint64
+	// Keys, when non-nil, fills Request.Key on every arrival — the
+	// loadgen skew machinery (HotSet/Zipfian) composes here.
+	Keys *loadgen.KeyGen
+}
+
+type conn struct {
+	id   uint64
+	dies uint64 // absolute cycle after which the connection churns; 0 = immortal
+	slow bool
+}
+
+// Fleet composes an arrival process with a churning client population,
+// producing the final open-loop request schedule.
+type Fleet struct {
+	rng    *rand.Rand
+	proc   Process
+	cfg    FleetConfig
+	conns  []conn
+	nextID uint64
+	now    uint64 // arrival cycle of the last request generated
+	seq    int
+	churns uint64
+	slow   uint64
+}
+
+// NewFleet seeds the population. Connection lifetimes and slow-client
+// draws come from the fleet's own rng, so the same process seed with a
+// different fleet seed reproduces the same arrival times with a
+// different population.
+func NewFleet(seed int64, proc Process, cfg FleetConfig) *Fleet {
+	if cfg.Clients <= 0 {
+		panic("traffic: fleet needs at least one client")
+	}
+	f := &Fleet{
+		rng:   rand.New(rand.NewSource(seed)),
+		proc:  proc,
+		cfg:   cfg,
+		conns: make([]conn, cfg.Clients),
+	}
+	for i := range f.conns {
+		f.conns[i] = f.open(0)
+	}
+	return f
+}
+
+// open creates a fresh connection at the given cycle.
+func (f *Fleet) open(now uint64) conn {
+	c := conn{id: f.nextID, slow: f.rng.Float64() < f.cfg.SlowFraction}
+	f.nextID++
+	if f.cfg.MeanLifetime > 0 {
+		c.dies = now + uint64(f.rng.ExpFloat64()*f.cfg.MeanLifetime) + 1
+	}
+	return c
+}
+
+// Process returns the underlying arrival process.
+func (f *Fleet) Process() Process { return f.proc }
+
+// Churns returns how many connections have been closed and reopened.
+func (f *Fleet) Churns() uint64 { return f.churns }
+
+// SlowRequests returns how many generated requests carried a stall.
+func (f *Fleet) SlowRequests() uint64 { return f.slow }
+
+// Next generates the next request of the schedule. The stream is
+// infinite; the driver decides how many to take.
+func (f *Fleet) Next() Request {
+	gap, phase := f.proc.Next()
+	f.now += gap
+	slot := f.rng.Intn(len(f.conns))
+	if c := &f.conns[slot]; c.dies != 0 && c.dies <= f.now {
+		*c = f.open(f.now)
+		f.churns++
+	}
+	c := f.conns[slot]
+	req := Request{
+		Seq:     f.seq,
+		Arrival: f.now,
+		Conn:    c.id,
+		Phase:   phase,
+	}
+	if c.slow {
+		req.Stall = f.cfg.StallCycles
+		f.slow++
+	}
+	if f.cfg.Keys != nil {
+		req.Key = f.cfg.Keys.Next()
+	}
+	f.seq++
+	return req
+}
+
+// Schedule materializes the next n requests, for tests and goldens.
+func (f *Fleet) Schedule(n int) []Request {
+	out := make([]Request, n)
+	for i := range out {
+		out[i] = f.Next()
+	}
+	return out
+}

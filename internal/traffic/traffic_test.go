@@ -1,0 +1,190 @@
+package traffic_test
+
+import (
+	"reflect"
+	"testing"
+
+	"eleos/internal/loadgen"
+	"eleos/internal/traffic"
+)
+
+// procs builds one instance of each arrival process from a seed, with
+// parameters small enough that a short schedule crosses phase
+// boundaries.
+func procs(seed int64) []traffic.Process {
+	return []traffic.Process{
+		traffic.NewPoisson(seed, 1000),
+		traffic.NewBurst(seed, traffic.BurstConfig{
+			OnMeanGap: 300, OffMeanGap: 3000,
+			OnMeanCycles: 20_000, OffMeanCycles: 40_000,
+		}),
+		traffic.NewDiurnal(seed, []traffic.PhaseRate{
+			{Name: "night", MeanGap: 4000, Cycles: 50_000},
+			{Name: "day", MeanGap: 1000, Cycles: 50_000},
+			{Name: "peak", MeanGap: 500, Cycles: 30_000},
+		}),
+	}
+}
+
+// fleetOver wraps a process in the standard test fleet.
+func fleetOver(seed int64, p traffic.Process) *traffic.Fleet {
+	return traffic.NewFleet(seed, p, traffic.FleetConfig{
+		Clients:      16,
+		MeanLifetime: 100_000,
+		SlowFraction: 0.25,
+		StallCycles:  500,
+		Keys:         loadgen.NewKeyGen(seed, 4096),
+	})
+}
+
+// TestScheduleDeterminism is the golden determinism property: two
+// generators built from identical seeds emit identical schedules,
+// request by request, for every process type.
+func TestScheduleDeterminism(t *testing.T) {
+	const n = 5_000
+	a, b := procs(42), procs(42)
+	for i := range a {
+		fa, fb := fleetOver(7, a[i]), fleetOver(7, b[i])
+		sa, sb := fa.Schedule(n), fb.Schedule(n)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("%s: identical seeds produced different schedules", a[i].Name())
+		}
+		if fa.Churns() != fb.Churns() || fa.SlowRequests() != fb.SlowRequests() {
+			t.Fatalf("%s: identical seeds produced different fleet stats", a[i].Name())
+		}
+		// And a different seed produces a different schedule.
+		if reflect.DeepEqual(sa, fleetOver(8, procs(43)[i]).Schedule(n)) {
+			t.Fatalf("%s: different seeds produced identical schedules", a[i].Name())
+		}
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	const n = 20_000
+	for _, p := range procs(1) {
+		name := p.Name()
+		nPhases := len(p.Phases())
+		f := fleetOver(2, p)
+		var prev uint64
+		seen := make([]int, nPhases)
+		for i := 0; i < n; i++ {
+			r := f.Next()
+			if r.Seq != i {
+				t.Fatalf("%s: Seq = %d, want %d", name, r.Seq, i)
+			}
+			if r.Arrival < prev {
+				t.Fatalf("%s: arrivals not monotone: %d after %d", name, r.Arrival, prev)
+			}
+			prev = r.Arrival
+			if r.Phase < 0 || r.Phase >= nPhases {
+				t.Fatalf("%s: phase %d out of range [0,%d)", name, r.Phase, nPhases)
+			}
+			seen[r.Phase]++
+			if (r.Stall > 0) != (r.Stall == 500) && r.Stall != 0 {
+				t.Fatalf("%s: unexpected stall %d", name, r.Stall)
+			}
+			if r.Key == 0 || r.Key > 4096 {
+				t.Fatalf("%s: key %d outside keygen space", name, r.Key)
+			}
+		}
+		for ph, c := range seen {
+			if c == 0 {
+				t.Errorf("%s: phase %q never produced an arrival in %d requests",
+					name, p.Phases()[ph], n)
+			}
+		}
+	}
+}
+
+func TestFleetChurnAndSlowClients(t *testing.T) {
+	p := traffic.NewPoisson(3, 1000)
+	f := traffic.NewFleet(4, p, traffic.FleetConfig{
+		Clients:      8,
+		MeanLifetime: 10_000, // ~10 requests per connection at this rate
+		SlowFraction: 0.5,
+		StallCycles:  250,
+	})
+	const n = 10_000
+	maxConn := uint64(0)
+	slow := 0
+	for i := 0; i < n; i++ {
+		r := f.Next()
+		if r.Conn > maxConn {
+			maxConn = r.Conn
+		}
+		if r.Stall != 0 {
+			if r.Stall != 250 {
+				t.Fatalf("stall = %d, want 250", r.Stall)
+			}
+			slow++
+		}
+	}
+	if f.Churns() == 0 {
+		t.Fatal("short-lived connections never churned")
+	}
+	// Every churn allocates a fresh id beyond the initial 8.
+	if want := f.Churns() + 7; maxConn != want {
+		t.Fatalf("max conn id = %d, want %d (churns %d + initial 8)", maxConn, want, f.Churns())
+	}
+	if int(f.SlowRequests()) != slow {
+		t.Fatalf("SlowRequests = %d, counted %d", f.SlowRequests(), slow)
+	}
+	// With SlowFraction 0.5 roughly half the requests should stall.
+	if frac := float64(slow) / n; frac < 0.3 || frac > 0.7 {
+		t.Fatalf("slow fraction = %.2f, want ~0.5", frac)
+	}
+	// Immortal fleets never churn.
+	im := traffic.NewFleet(4, traffic.NewPoisson(3, 1000), traffic.FleetConfig{Clients: 8})
+	im.Schedule(n)
+	if im.Churns() != 0 {
+		t.Fatalf("immortal fleet churned %d times", im.Churns())
+	}
+}
+
+func TestBurstPhaseRates(t *testing.T) {
+	b := traffic.NewBurst(9, traffic.BurstConfig{
+		OnMeanGap: 100, OffMeanGap: 5000,
+		OnMeanCycles: 50_000, OffMeanCycles: 50_000,
+	})
+	var gapSum [2]float64
+	var count [2]int
+	for i := 0; i < 50_000; i++ {
+		gap, ph := b.Next()
+		gapSum[ph] += float64(gap)
+		count[ph]++
+	}
+	if count[0] == 0 || count[1] == 0 {
+		t.Fatalf("burst never visited both states: on=%d off=%d", count[0], count[1])
+	}
+	onMean := gapSum[0] / float64(count[0])
+	offMean := gapSum[1] / float64(count[1])
+	if onMean >= offMean {
+		t.Fatalf("on-state mean gap %.0f not below off-state %.0f", onMean, offMean)
+	}
+}
+
+func TestDiurnalPhaseOrder(t *testing.T) {
+	d := traffic.NewDiurnal(5, []traffic.PhaseRate{
+		{Name: "a", MeanGap: 100, Cycles: 10_000},
+		{Name: "b", MeanGap: 100, Cycles: 10_000},
+		{Name: "c", MeanGap: 100, Cycles: 10_000},
+	})
+	last := 0
+	wraps := 0
+	for i := 0; i < 2_000; i++ {
+		_, ph := d.Next()
+		switch {
+		case ph == last:
+		case ph == (last+1)%3:
+			if ph == 0 {
+				wraps++
+			}
+			last = ph
+		default:
+			t.Fatalf("diurnal jumped from phase %d to %d", last, ph)
+		}
+	}
+	if wraps == 0 {
+		t.Fatal("diurnal never wrapped around its cycle")
+	}
+}
